@@ -1,0 +1,205 @@
+// Benchmark harness: one benchmark per figure and table of the paper's
+// evaluation section. Each benchmark regenerates its artifact from scratch
+// (full trial run + analysis) and reports the headline values the paper
+// prints in its text as benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation and prints where every number landed.
+// See EXPERIMENTS.md for the paper-vs-measured comparison.
+package vanetsim_test
+
+import (
+	"testing"
+
+	"vanetsim"
+)
+
+// benchDelayFigure regenerates a delay figure and reports its series
+// length, steady-state level, and first-packet delay.
+func benchDelayFigure(b *testing.B, cfg vanetsim.TrialConfig, fig func(*vanetsim.TrialResult) vanetsim.Figure, platoon1 bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := vanetsim.RunTrial(cfg)
+		f := fig(r)
+		if f.Len() == 0 {
+			b.Fatal("empty figure")
+		}
+		p := r.Platoon1
+		if !platoon1 {
+			p = r.Platoon2
+		}
+		_, steady := p.MiddleDelays().SteadyState()
+		first, _ := p.MiddleDelays().First()
+		b.ReportMetric(float64(f.Len()), "points")
+		b.ReportMetric(steady, "steady_s")
+		b.ReportMetric(float64(first), "first_s")
+	}
+}
+
+// benchThroughputFigure regenerates a throughput figure and reports the
+// paper's avg/max statistics.
+func benchThroughputFigure(b *testing.B, cfg vanetsim.TrialConfig, fig func(*vanetsim.TrialResult) vanetsim.Figure) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := vanetsim.RunTrial(cfg)
+		f := fig(r)
+		if f.Len() == 0 {
+			b.Fatal("empty figure")
+		}
+		sm := r.Platoon1.Throughput().Summary(r.Config.Duration)
+		b.ReportMetric(sm.Mean, "avg_Mbps")
+		b.ReportMetric(sm.Max, "max_Mbps")
+	}
+}
+
+// Fig. 5: Trial 1 overall one-way delay vs packet ID (platoon 1).
+func BenchmarkFig5_Trial1DelayOverall(b *testing.B) {
+	benchDelayFigure(b, vanetsim.Trial1(), vanetsim.Fig5, true)
+}
+
+// Fig. 6: Trial 1 transient-state one-way delay (platoon 1).
+func BenchmarkFig6_Trial1DelayTransient(b *testing.B) {
+	benchDelayFigure(b, vanetsim.Trial1(), vanetsim.Fig6, true)
+}
+
+// Fig. 7: Trial 1 throughput vs time (platoon 1).
+func BenchmarkFig7_Trial1Throughput(b *testing.B) {
+	benchThroughputFigure(b, vanetsim.Trial1(), vanetsim.Fig7)
+}
+
+// Fig. 8: Trial 2 overall one-way delay (platoon 1).
+func BenchmarkFig8_Trial2DelayOverall(b *testing.B) {
+	benchDelayFigure(b, vanetsim.Trial2(), vanetsim.Fig8, true)
+}
+
+// Fig. 9: Trial 2 transient-state one-way delay (platoon 1).
+func BenchmarkFig9_Trial2DelayTransient(b *testing.B) {
+	benchDelayFigure(b, vanetsim.Trial2(), vanetsim.Fig9, true)
+}
+
+// Fig. 10: Trial 2 throughput vs time (platoon 1).
+func BenchmarkFig10_Trial2Throughput(b *testing.B) {
+	benchThroughputFigure(b, vanetsim.Trial2(), vanetsim.Fig10)
+}
+
+// Fig. 11: Trial 3 overall one-way delay (platoon 1).
+func BenchmarkFig11_Trial3DelayP1Overall(b *testing.B) {
+	benchDelayFigure(b, vanetsim.Trial3(), vanetsim.Fig11, true)
+}
+
+// Fig. 12: Trial 3 transient-state one-way delay (platoon 1).
+func BenchmarkFig12_Trial3DelayP1Transient(b *testing.B) {
+	benchDelayFigure(b, vanetsim.Trial3(), vanetsim.Fig12, true)
+}
+
+// Fig. 13: Trial 3 overall one-way delay (platoon 2).
+func BenchmarkFig13_Trial3DelayP2Overall(b *testing.B) {
+	benchDelayFigure(b, vanetsim.Trial3(), vanetsim.Fig13, false)
+}
+
+// Fig. 14: Trial 3 transient-state one-way delay (platoon 2).
+func BenchmarkFig14_Trial3DelayP2Transient(b *testing.B) {
+	benchDelayFigure(b, vanetsim.Trial3(), vanetsim.Fig14, false)
+}
+
+// Fig. 15: Trial 3 throughput vs time (platoon 1).
+func BenchmarkFig15_Trial3Throughput(b *testing.B) {
+	benchThroughputFigure(b, vanetsim.Trial3(), vanetsim.Fig15)
+}
+
+// benchDelayTable regenerates the in-text per-vehicle delay statistics.
+func benchDelayTable(b *testing.B, cfg vanetsim.TrialConfig) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := vanetsim.RunTrial(cfg)
+		rows := vanetsim.DelayTable(r)
+		if len(rows) != 4 {
+			b.Fatalf("delay table rows = %d", len(rows))
+		}
+		// Platoon 1 middle vehicle, the row the paper leads with.
+		b.ReportMetric(rows[0].AvgS, "avg_s")
+		b.ReportMetric(rows[0].MinS, "min_s")
+		b.ReportMetric(rows[0].MaxS, "max_s")
+	}
+}
+
+// benchThroughputCITable regenerates the in-text throughput statistics and
+// 95% confidence analysis.
+func benchThroughputCITable(b *testing.B, cfg vanetsim.TrialConfig) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := vanetsim.RunTrial(cfg)
+		rows := vanetsim.ThroughputTable(r)
+		if len(rows) != 2 {
+			b.Fatalf("throughput table rows = %d", len(rows))
+		}
+		b.ReportMetric(rows[0].AvgMbps, "avg_Mbps")
+		b.ReportMetric(rows[0].CIHalfMbps, "ci95_Mbps")
+		b.ReportMetric(rows[0].RelPrecision*100, "relprec_pct")
+	}
+}
+
+// In-text table: Trial 1 per-vehicle delay statistics.
+func BenchmarkTableTrial1Delay(b *testing.B) { benchDelayTable(b, vanetsim.Trial1()) }
+
+// In-text table: Trial 1 throughput statistics + confidence analysis.
+func BenchmarkTableTrial1ThroughputCI(b *testing.B) { benchThroughputCITable(b, vanetsim.Trial1()) }
+
+// In-text table: Trial 2 per-vehicle delay statistics.
+func BenchmarkTableTrial2Delay(b *testing.B) { benchDelayTable(b, vanetsim.Trial2()) }
+
+// In-text table: Trial 2 throughput statistics + confidence analysis.
+func BenchmarkTableTrial2ThroughputCI(b *testing.B) { benchThroughputCITable(b, vanetsim.Trial2()) }
+
+// In-text table: Trial 3 per-vehicle delay statistics.
+func BenchmarkTableTrial3Delay(b *testing.B) { benchDelayTable(b, vanetsim.Trial3()) }
+
+// In-text table: Trial 3 throughput statistics + confidence analysis.
+func BenchmarkTableTrial3ThroughputCI(b *testing.B) { benchThroughputCITable(b, vanetsim.Trial3()) }
+
+// §III.E analysis A1: packet-size impact (trial 1 vs trial 2) — delay
+// unchanged, throughput halved.
+func BenchmarkAnalysisPacketSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r1 := vanetsim.RunTrial(vanetsim.Trial1())
+		r2 := vanetsim.RunTrial(vanetsim.Trial2())
+		d1 := r1.Platoon1.MiddleDelays().Summary().Mean
+		d2 := r2.Platoon1.MiddleDelays().Summary().Mean
+		t1 := r1.Platoon1.Throughput().Summary(r1.Config.Duration).Mean
+		t2 := r2.Platoon1.Throughput().Summary(r2.Config.Duration).Mean
+		b.ReportMetric(d2/d1, "delay_ratio") // paper: ~1.0
+		b.ReportMetric(t2/t1, "tput_ratio")  // paper: ~0.5
+	}
+}
+
+// §III.E analysis A2: MAC impact (trial 1 vs trial 3) — 802.11 much
+// faster on both metrics.
+func BenchmarkAnalysisMACType(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r1 := vanetsim.RunTrial(vanetsim.Trial1())
+		r3 := vanetsim.RunTrial(vanetsim.Trial3())
+		d1 := r1.Platoon1.MiddleDelays().Summary().Mean
+		d3 := r3.Platoon1.MiddleDelays().Summary().Mean
+		t1 := r1.Platoon1.Throughput().Summary(r1.Config.Duration).Mean
+		t3 := r3.Platoon1.Throughput().Summary(r3.Config.Duration).Mean
+		b.ReportMetric(d1/d3, "delay_speedup") // paper: large (TDMA ≫ 802.11)
+		b.ReportMetric(t3/t1, "tput_gain")     // paper: significantly > 1
+	}
+}
+
+// §III.E analysis A3: stopping-distance table — distance travelled before
+// brake indication, as a fraction of the 25 m separation.
+func BenchmarkAnalysisStoppingDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r1 := vanetsim.RunTrial(vanetsim.Trial1())
+		r3 := vanetsim.RunTrial(vanetsim.Trial3())
+		rows := vanetsim.StoppingTable(r1, r3)
+		if len(rows) != 2 {
+			b.Fatal("missing stopping rows")
+		}
+		b.ReportMetric(rows[0].FractionOfSeparation*100, "tdma_pct") // paper: >20%
+		b.ReportMetric(rows[1].FractionOfSeparation*100, "dcf_pct")  // paper: <2%
+		b.ReportMetric(rows[0].DistanceBeforeNotice, "tdma_m")       // paper: ~5.38 m
+	}
+}

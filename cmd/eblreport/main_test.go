@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportCoversEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full three-trial report is slow")
+	}
+	var sb strings.Builder
+	report(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"trial1", "trial2", "trial3",
+		"One-way delay:", "Throughput:",
+		"packet size (trial 1 vs trial 2)",
+		"MAC type (trial 1 vs trial 3)",
+		"stopping-distance analysis",
+		"Fig5", "Fig7", "Fig8", "Fig10", "Fig11", "Fig15",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command eblsweep explores the scenario parameter space around the
+// paper's fixed operating point (50 mph, 25 m, 3 vehicles): a
+// speed × gap safety matrix per MAC built from measured indication
+// delays, and a MAC × packet-size performance sweep.
+//
+//	eblsweep            # both sweeps with defaults
+//	eblsweep -safety    # only the safety matrix
+//	eblsweep -perf      # only the performance sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vanetsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "eblsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("eblsweep", flag.ContinueOnError)
+	var (
+		safetyOnly = fs.Bool("safety", false, "print only the safety matrix")
+		perfOnly   = fs.Bool("perf", false, "print only the performance sweep")
+		duration   = fs.Float64("duration", 80, "simulated seconds per run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*perfOnly {
+		safetyMatrix(out, *duration)
+	}
+	if !*safetyOnly {
+		perfSweep(out, *duration)
+	}
+	return nil
+}
+
+// safetyMatrix measures each MAC's indication delay once, then sweeps
+// speed × gap through the braking model.
+func safetyMatrix(out io.Writer, duration float64) {
+	fmt.Fprintln(out, "Safety matrix: can the trailing vehicle stop in time?")
+	fmt.Fprintln(out, "(7 m/s² braking, 0.7 s reaction, 5 m margin; measured indication delays)")
+
+	delays := map[vanetsim.MACType]float64{}
+	for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
+		cfg := vanetsim.Trial1()
+		cfg.MAC = mac
+		cfg.Duration = vanetsim.Seconds(duration)
+		r := vanetsim.RunTrial(cfg)
+		first, _ := r.Platoon1.TrailingDelays().First()
+		delays[mac] = float64(first)
+		fmt.Fprintf(out, "  %v indication delay: %.4f s\n", mac, float64(first))
+	}
+
+	model := vanetsim.DefaultBrakingModel()
+	gaps := []float64{15, 20, 25, 30, 40, 50}
+	speeds := []float64{10, 15, 20, 22.4, 25, 30}
+	for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
+		fmt.Fprintf(out, "\n%v — rows: speed (m/s), cols: gap (m); S = safe, X = crash\n      ", mac)
+		for _, g := range gaps {
+			fmt.Fprintf(out, "%5.0f", g)
+		}
+		fmt.Fprintln(out)
+		for _, v := range speeds {
+			fmt.Fprintf(out, "%6.1f", v)
+			need := model.MinSafeGap(v, vanetsim.Seconds(delays[mac]))
+			for _, g := range gaps {
+				mark := "    S"
+				if need > g {
+					mark = "    X"
+				}
+				fmt.Fprint(out, mark)
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+// perfSweep runs the MAC × packet-size grid and prints a CSV-ish table.
+func perfSweep(out io.Writer, duration float64) {
+	fmt.Fprintln(out, "Performance sweep: MAC x packet size")
+	fmt.Fprintf(out, "%-8s %6s %12s %12s %12s\n", "mac", "bytes", "avg_dly_s", "steady_s", "avg_mbps")
+	for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
+		for _, size := range []int{250, 500, 1000, 1500} {
+			cfg := vanetsim.Trial1()
+			cfg.MAC = mac
+			cfg.PacketSize = size
+			cfg.Duration = vanetsim.Seconds(duration)
+			r := vanetsim.RunTrial(cfg)
+			d := r.Platoon1.MiddleDelays()
+			_, steady := d.SteadyState()
+			tput := r.Platoon1.Throughput().Summary(cfg.Duration)
+			fmt.Fprintf(out, "%-8v %6d %12.4f %12.4f %12.4f\n",
+				mac, size, d.Summary().Mean, steady, tput.Mean)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSafetyMatrixOnly(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-safety", "-duration", "40"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Safety matrix") {
+		t.Fatal("safety matrix missing")
+	}
+	if strings.Contains(out, "Performance sweep") {
+		t.Fatal("-safety should suppress the performance sweep")
+	}
+	// Both verdict letters must appear: the matrix spans the crossover.
+	if !strings.Contains(out, "S") || !strings.Contains(out, "X") {
+		t.Fatalf("matrix shows no contrast:\n%s", out)
+	}
+}
+
+func TestPerfSweepOnly(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-perf", "-duration", "40"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "Safety matrix") {
+		t.Fatal("-perf should suppress the safety matrix")
+	}
+	// 2 MACs x 4 sizes = 8 data rows.
+	if got := strings.Count(out, "\n") - 2; got != 8 {
+		t.Fatalf("perf sweep rows = %d, want 8", got)
+	}
+}

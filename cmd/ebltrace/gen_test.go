@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"vanetsim"
+)
+
+// genTrace runs a short trial with trace collection and writes it to path.
+func genTrace(t *testing.T, path string) {
+	t.Helper()
+	cfg := vanetsim.Trial1()
+	cfg.Duration = vanetsim.Seconds(40)
+	cfg.CollectTrace = true
+	r := vanetsim.RunTrial(cfg)
+	if err := vanetsim.WriteTrace(path, r); err != nil {
+		t.Fatal(err)
+	}
+}

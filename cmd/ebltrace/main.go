@@ -1,0 +1,99 @@
+// Command ebltrace reproduces the paper's offline methodology: it parses
+// an ns-2-style trace file (written by `vanetsim -trace`) and computes the
+// one-way delay and throughput statistics from the raw send/receive
+// events, independently of the simulator's online bookkeeping.
+//
+//	vanetsim -trial 1 -trace t1.tr
+//	ebltrace t1.tr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+	"vanetsim/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ebltrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ebltrace", flag.ContinueOnError)
+	bin := fs.Float64("bin", 0.5, "throughput bin width in seconds")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: ebltrace [-bin seconds] <trace-file>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := trace.ReadAll(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%d trace records\n\n", len(recs))
+
+	delays := trace.OneWayDelays(recs)
+	keys := make([]trace.FlowKey, 0, len(delays))
+	for k := range delays {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Src != keys[j].Src {
+			return keys[i].Src < keys[j].Src
+		}
+		return keys[i].Dst < keys[j].Dst
+	})
+	fmt.Fprintln(out, "One-way delay per flow (computed from the trace):")
+	fmt.Fprintf(out, "%-18s %6s %9s %9s %9s %9s %9s\n", "flow", "n", "avg(s)", "min(s)", "max(s)", "first(s)", "steady(s)")
+	for _, k := range keys {
+		s := delays[k]
+		sm := s.Summary()
+		first, _ := s.First()
+		_, steady := s.SteadyState()
+		flow := fmt.Sprintf("%v:%d->%v:%d", k.Src, k.SrcPt, k.Dst, k.DstPt)
+		fmt.Fprintf(out, "%-18s %6d %9.4f %9.4f %9.4f %9.4f %9.4f\n",
+			flow, sm.N, sm.Mean, sm.Min, sm.Max, float64(first), steady)
+	}
+
+	fmt.Fprintln(out, "\nThroughput per receiving node:")
+	fmt.Fprintf(out, "%-6s %10s %10s %10s %12s %8s\n", "node", "avg(Mbps)", "min(Mbps)", "max(Mbps)", "95%CI(Mbps)", "relprec")
+	tps := trace.FlowThroughput(recs, sim.Time(*bin))
+	nodes := make([]packet.NodeID, 0, len(tps))
+	for n := range tps {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	end := lastTime(recs)
+	for _, n := range nodes {
+		tp := tps[n]
+		sm := tp.Summary(end)
+		ci := tp.CI(end, 10, 0.95)
+		fmt.Fprintf(out, "%-6v %10.4f %10.4f %10.4f %12.4f %7.1f%%\n",
+			n, sm.Mean, sm.Min, sm.Max, ci.HalfWidth, ci.RelPrecision()*100)
+	}
+	return nil
+}
+
+func lastTime(recs []trace.Record) sim.Time {
+	var end sim.Time
+	for _, r := range recs {
+		if r.At > end {
+			end = r.At
+		}
+	}
+	return end
+}

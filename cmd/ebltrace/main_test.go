@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleTrace is a tiny hand-written trace: two sends, two receives.
+const sampleTrace = `s 1.000000 _0_ AGT --- 1 tcp 1040 [0:100 1:200] 1
+r 1.250000 _1_ AGT --- 1 tcp 1040 [0:100 1:200] 1
+s 2.000000 _0_ AGT --- 2 tcp 1040 [0:100 1:200] 2
+r 2.300000 _1_ AGT --- 2 tcp 1040 [0:100 1:200] 2
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.tr")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAnalyzeSampleTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{writeTemp(t, sampleTrace)}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "4 trace records") {
+		t.Fatalf("record count wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "0:100->1:200") {
+		t.Fatalf("flow missing:\n%s", out)
+	}
+	// Average of 0.25 and 0.30 = 0.275.
+	if !strings.Contains(out, "0.2750") {
+		t.Fatalf("avg delay wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "Throughput per receiving node") {
+		t.Fatal("throughput section missing")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil, &strings.Builder{}); err == nil {
+		t.Fatal("no args should fail")
+	}
+	if err := run([]string{"/nonexistent/file.tr"}, &strings.Builder{}); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	if err := run([]string{writeTemp(t, "garbage\n")}, &strings.Builder{}); err == nil {
+		t.Fatal("malformed trace should fail")
+	}
+}
+
+func TestEndToEndWithGeneratedTrace(t *testing.T) {
+	// vanetsim -trace | ebltrace round trip, in-process.
+	path := filepath.Join(t.TempDir(), "gen.tr")
+	genTrace(t, path)
+	var sb strings.Builder
+	if err := run([]string{path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "One-way delay per flow") {
+		t.Fatal("analysis incomplete")
+	}
+}

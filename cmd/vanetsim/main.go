@@ -1,0 +1,143 @@
+// Command vanetsim runs one trial of the paper's Extended Brake Lights
+// scenario and prints its statistics tables, a figure as CSV or an ASCII
+// plot, or an ns-2-style trace for offline analysis with ebltrace.
+//
+// Examples:
+//
+//	vanetsim -trial 1                 # trial 1 tables
+//	vanetsim -trial 3 -ascii Fig11    # trial 3 delay curve in the terminal
+//	vanetsim -trial 2 -csv Fig10      # figure data as CSV on stdout
+//	vanetsim -trial 1 -trace t1.tr    # write an agent-level trace file
+//	vanetsim -mac 802.11 -packet 500  # a configuration the paper didn't run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"vanetsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vanetsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vanetsim", flag.ContinueOnError)
+	var (
+		trial    = fs.Int("trial", 1, "paper trial to run (1, 2 or 3); 0 to build from -mac/-packet")
+		macName  = fs.String("mac", "tdma", "MAC type for -trial 0: tdma or 802.11")
+		pktSize  = fs.Int("packet", 1000, "packet size in bytes for -trial 0")
+		duration = fs.Float64("duration", 0, "override simulated seconds (0 = paper default)")
+		seed     = fs.Uint64("seed", 0, "override RNG seed (0 = default)")
+		csvFig   = fs.String("csv", "", "print one figure as CSV (Fig5..Fig15)")
+		asciiFig = fs.String("ascii", "", "print one figure as an ASCII plot (Fig5..Fig15)")
+		traceOut = fs.String("trace", "", "write an agent-level trace file to this path")
+		animate  = fs.Bool("anim", false, "play an ASCII animation of vehicle motion (nam's role)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg vanetsim.TrialConfig
+	switch *trial {
+	case 1:
+		cfg = vanetsim.Trial1()
+	case 2:
+		cfg = vanetsim.Trial2()
+	case 3:
+		cfg = vanetsim.Trial3()
+	case 0:
+		cfg = vanetsim.Trial1()
+		cfg.Name = "custom"
+		cfg.PacketSize = *pktSize
+		switch strings.ToLower(*macName) {
+		case "tdma":
+			cfg.MAC = vanetsim.MACTDMA
+		case "802.11", "dcf", "80211":
+			cfg.MAC = vanetsim.MAC80211
+		default:
+			return fmt.Errorf("unknown MAC %q", *macName)
+		}
+	default:
+		return fmt.Errorf("unknown trial %d", *trial)
+	}
+	if *duration > 0 {
+		cfg.Duration = vanetsim.Seconds(*duration)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.CollectTrace = *traceOut != ""
+	if *animate {
+		cfg.AnimInterval = 2 // seconds per frame
+	}
+
+	r := vanetsim.RunTrial(cfg)
+
+	if *traceOut != "" {
+		if err := vanetsim.WriteTrace(*traceOut, r); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d trace records to %s\n", len(r.Trace), *traceOut)
+	}
+
+	if *csvFig != "" {
+		f, err := figureByName(r, *csvFig)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, f.CSV())
+		return nil
+	}
+	if *asciiFig != "" {
+		f, err := figureByName(r, *asciiFig)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, f.ASCII(70, 16))
+		return nil
+	}
+
+	if *animate && r.Anim != nil {
+		vp := r.Anim.AutoViewport(30)
+		if err := r.Anim.Play(out, vp, 72, 18, 2); err != nil {
+			return err
+		}
+		fmt.Fprint(out, r.Anim.Legend())
+		return nil
+	}
+
+	fmt.Fprintf(out, "%v — %s MAC, %d-byte packets, %.0f s simulated\n\n",
+		cfg.Name, cfg.MAC, cfg.PacketSize, float64(cfg.Duration))
+	fmt.Fprintln(out, "One-way delay (per receiving vehicle):")
+	fmt.Fprint(out, vanetsim.FormatDelayTable(vanetsim.DelayTable(r)))
+	fmt.Fprintln(out, "\nThroughput (per platoon, 95% batch-means CI):")
+	fmt.Fprint(out, vanetsim.FormatThroughputTable(vanetsim.ThroughputTable(r)))
+	fmt.Fprintln(out, "\nStopping-distance analysis (initial packet, platoon 1):")
+	fmt.Fprint(out, vanetsim.FormatStoppingTable(vanetsim.StoppingTable(r)))
+	return nil
+}
+
+// figureByName resolves "Fig5".."Fig15" against the trial the figure
+// belongs to (any trial's result can render any figure id; the caller is
+// responsible for pairing them the way the paper does).
+func figureByName(r *vanetsim.TrialResult, name string) (vanetsim.Figure, error) {
+	figs := map[string]func(*vanetsim.TrialResult) vanetsim.Figure{
+		"fig5": vanetsim.Fig5, "fig6": vanetsim.Fig6, "fig7": vanetsim.Fig7,
+		"fig8": vanetsim.Fig8, "fig9": vanetsim.Fig9, "fig10": vanetsim.Fig10,
+		"fig11": vanetsim.Fig11, "fig12": vanetsim.Fig12, "fig13": vanetsim.Fig13,
+		"fig14": vanetsim.Fig14, "fig15": vanetsim.Fig15,
+	}
+	fn, ok := figs[strings.ToLower(name)]
+	if !ok {
+		return vanetsim.Figure{}, fmt.Errorf("unknown figure %q (want Fig5..Fig15)", name)
+	}
+	return fn(r), nil
+}

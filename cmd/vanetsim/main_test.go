@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTrialTables(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trial", "1", "-duration", "40"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"TDMA MAC", "One-way delay", "Throughput", "Stopping-distance", "trial1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSVFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trial", "1", "-duration", "40", "-csv", "Fig7"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "# Fig7") {
+		t.Fatalf("CSV output wrong: %q", sb.String()[:40])
+	}
+}
+
+func TestRunASCIIFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trial", "1", "-duration", "40", "-ascii", "fig5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "packet ID") {
+		t.Fatal("ASCII output missing axis labels")
+	}
+}
+
+func TestRunCustomConfig(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trial", "0", "-mac", "802.11", "-packet", "500", "-duration", "40"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "802.11 MAC, 500-byte") {
+		t.Fatalf("custom config not honoured:\n%s", sb.String())
+	}
+}
+
+func TestRunTraceOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.tr")
+	var sb strings.Builder
+	if err := run([]string{"-trial", "1", "-duration", "40", "-trace", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("trace file empty")
+	}
+	if !strings.Contains(sb.String(), "trace records") {
+		t.Fatal("no confirmation message")
+	}
+}
+
+func TestRunAnimation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-trial", "1", "-duration", "30", "-anim"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "t=") || !strings.Contains(out, "= node") {
+		t.Fatalf("animation output incomplete:\n%.200s", out)
+	}
+	// Both platoons' glyphs must appear somewhere.
+	for _, g := range []string{"0", "5"} {
+		if !strings.Contains(out, g) {
+			t.Fatalf("glyph %s missing from animation", g)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-trial", "9"},
+		{"-trial", "0", "-mac", "zigbee"},
+		{"-trial", "1", "-duration", "40", "-csv", "Fig99"},
+		{"-trial", "1", "-duration", "40", "-ascii", "nope"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Fatalf("args %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// DoS resilience: the security trade-off the paper's §III.E raises. It
+// recommends 802.11 for performance but notes that "a combination of TDMA
+// and Frequency Hopping Spread Spectrum (FHSS) may be used as a means to
+// help prevent Denial-of-Service attacks". This example quantifies that
+// trade-off: a stopped platoon streams EBL status datagrams while an
+// attacker 30 m away floods the channel, and we measure how much of the
+// safety traffic survives per MAC.
+//
+//	go run ./examples/dosresilience
+package main
+
+import (
+	"fmt"
+
+	"vanetsim"
+)
+
+func main() {
+	type variant struct {
+		name string
+		mod  func(*vanetsim.JammingConfig)
+	}
+	variants := []variant{
+		{"802.11, no attack", func(c *vanetsim.JammingConfig) {
+			c.MAC = vanetsim.MAC80211
+			c.Jam.StartAt = 1e9
+		}},
+		{"802.11, jammed", func(c *vanetsim.JammingConfig) {
+			c.MAC = vanetsim.MAC80211
+		}},
+		{"TDMA, jammed", func(c *vanetsim.JammingConfig) {
+			c.MAC = vanetsim.MACTDMA
+		}},
+		{"TDMA+FHSS/8, jammed", func(c *vanetsim.JammingConfig) {
+			c.MAC = vanetsim.MACTDMA
+			c.HopChannels = 8
+		}},
+		{"TDMA+FHSS/8, sweep-jammed", func(c *vanetsim.JammingConfig) {
+			c.MAC = vanetsim.MACTDMA
+			c.HopChannels = 8
+			c.Jam.Sweep = 8
+		}},
+	}
+
+	fmt.Println("60 s run; attacker transmits continuously from t = 10 s.")
+	fmt.Printf("%-28s %10s %12s\n", "configuration", "delivery", "avg delay(s)")
+	for _, v := range variants {
+		cfg := vanetsim.DefaultJamming(vanetsim.MAC80211)
+		v.mod(&cfg)
+		r := vanetsim.RunJamming(cfg)
+		avg := 0.0
+		n := 0
+		for _, fl := range r.Flows {
+			sm := fl.Delays.Summary()
+			avg += sm.Mean * float64(sm.N)
+			n += sm.N
+		}
+		if n > 0 {
+			avg /= float64(n)
+		}
+		fmt.Printf("%-28s %9.1f%% %12.4f\n", v.name, r.OverallDelivery*100, avg)
+	}
+
+	fmt.Println()
+	fmt.Println("The performance/security trade-off, quantified: the jammer silences")
+	fmt.Println("both plain MACs outright (only pre-attack traffic gets through), but")
+	fmt.Println("hopping over 8 channels confines the attacker to ~1/8 of the slots.")
+}

@@ -1,0 +1,32 @@
+// Highway emergency braking: the "larger and more complex vehicular
+// configuration" the paper's conclusion calls for. An N-vehicle platoon
+// cruises at 50 mph; the lead brakes hard; each follower brakes only after
+// its EBL indication arrives plus 0.7 s of driver reaction. The MAC's
+// latency becomes stopped-distance margin — or a rear-end collision.
+//
+//	go run ./examples/highway
+package main
+
+import (
+	"fmt"
+
+	"vanetsim"
+)
+
+func main() {
+	for _, n := range []int{4, 6, 10} {
+		fmt.Printf("=== %d-vehicle platoon, 25 m gaps, 50 mph, 6 m/s² braking ===\n", n)
+		for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
+			r := vanetsim.RunHighway(vanetsim.DefaultHighway(mac, n))
+			fmt.Printf("%v: %d collision(s)\n", mac, r.Collisions)
+			fmt.Printf("  %-8s %14s %12s %10s %9s\n", "vehicle", "indication(s)", "blind(m)", "gap(m)", "crashed")
+			for _, ind := range r.Indications {
+				fmt.Printf("  %-8v %14.4f %12.1f %10.1f %9v\n",
+					ind.Vehicle, float64(ind.IndicationDelay), ind.DistanceBlind, ind.FinalGap, ind.Collided)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("The TDMA slot wait costs tens of metres of blind travel; 802.11's")
+	fmt.Println("millisecond indication keeps the whole chain inside its gaps.")
+}

@@ -1,0 +1,188 @@
+package vanetsim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vanetsim/internal/metrics"
+	"vanetsim/internal/sim"
+)
+
+// Figure is the data behind one of the paper's plots: a single 2-D series
+// with axis labels, renderable as ASCII or exportable as CSV.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X, Y   []float64
+}
+
+// Len returns the number of points.
+func (f Figure) Len() int { return len(f.X) }
+
+// CSV renders the figure as two-column CSV with a header.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n%s,%s\n", f.ID, f.Title, f.XLabel, f.YLabel)
+	for i := range f.X {
+		fmt.Fprintf(&b, "%g,%g\n", f.X[i], f.Y[i])
+	}
+	return b.String()
+}
+
+// ASCII renders a scatter plot on a width×height character grid with
+// axis annotations — enough to eyeball the paper's curve shapes in a
+// terminal.
+func (f Figure) ASCII(width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	if len(f.X) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	xmin, xmax := minMax(f.X)
+	ymin, ymax := minMax(f.Y)
+	if ymin > 0 {
+		ymin = 0 // anchor rate/delay plots at zero like the paper's axes
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range f.X {
+		c := int((f.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+		r := int((f.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+		row := height - 1 - r
+		if row >= 0 && row < height && c >= 0 && c < width {
+			grid[row][c] = '*'
+		}
+	}
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%9.3g ", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s%-*g%*g\n", "", width/2, xmin, width/2, xmax)
+	fmt.Fprintf(&b, "%10s x: %s, y: %s\n", "", f.XLabel, f.YLabel)
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// delayFigure builds a delay-vs-packet-ID figure from a series, optionally
+// truncated to the transient prefix (the paper pairs every overall plot
+// with a zoomed transient one).
+func delayFigure(id, title string, s *metrics.DelaySeries, transientOnly bool) Figure {
+	pts := s.Points()
+	if transientOnly {
+		cut := s.TruncationIndex()
+		if cut == 0 && len(pts) > 150 {
+			cut = 150 // fall back to the paper's eyeballed window
+		}
+		if cut < len(pts) {
+			pts = pts[:cut]
+		}
+	}
+	f := Figure{ID: id, Title: title, XLabel: "packet ID", YLabel: "one-way delay (s)"}
+	for _, p := range pts {
+		f.X = append(f.X, float64(p.ID))
+		f.Y = append(f.Y, float64(p.Delay))
+	}
+	return f
+}
+
+// throughputFigure builds a throughput-vs-time figure.
+func throughputFigure(id, title string, tp *metrics.Throughput, until sim.Time) Figure {
+	f := Figure{ID: id, Title: title, XLabel: "time (s)", YLabel: "throughput (Mbps)"}
+	for _, p := range tp.SeriesUntil(until) {
+		f.X = append(f.X, float64(p.T))
+		f.Y = append(f.Y, p.Mbps)
+	}
+	return f
+}
+
+// Fig5 — Trial 1 overall one-way delay, platoon 1 (middle-vehicle flow).
+func Fig5(r *TrialResult) Figure {
+	return delayFigure("Fig5", "Trial 1 one-way delay (platoon 1)", r.Platoon1.MiddleDelays(), false)
+}
+
+// Fig6 — Trial 1 transient-state one-way delay, platoon 1.
+func Fig6(r *TrialResult) Figure {
+	return delayFigure("Fig6", "Trial 1 transient-state one-way delay (platoon 1)", r.Platoon1.MiddleDelays(), true)
+}
+
+// Fig7 — Trial 1 throughput over time, platoon 1.
+func Fig7(r *TrialResult) Figure {
+	return throughputFigure("Fig7", "Trial 1 throughput (platoon 1)", r.Platoon1.Throughput(), r.Config.Duration)
+}
+
+// Fig8 — Trial 2 overall one-way delay, platoon 1.
+func Fig8(r *TrialResult) Figure {
+	return delayFigure("Fig8", "Trial 2 one-way delay (platoon 1)", r.Platoon1.MiddleDelays(), false)
+}
+
+// Fig9 — Trial 2 transient-state one-way delay, platoon 1.
+func Fig9(r *TrialResult) Figure {
+	return delayFigure("Fig9", "Trial 2 transient-state one-way delay (platoon 1)", r.Platoon1.MiddleDelays(), true)
+}
+
+// Fig10 — Trial 2 throughput over time, platoon 1.
+func Fig10(r *TrialResult) Figure {
+	return throughputFigure("Fig10", "Trial 2 throughput (platoon 1)", r.Platoon1.Throughput(), r.Config.Duration)
+}
+
+// Fig11 — Trial 3 overall one-way delay, platoon 1.
+func Fig11(r *TrialResult) Figure {
+	return delayFigure("Fig11", "Trial 3 one-way delay (platoon 1)", r.Platoon1.MiddleDelays(), false)
+}
+
+// Fig12 — Trial 3 transient-state one-way delay, platoon 1.
+func Fig12(r *TrialResult) Figure {
+	return delayFigure("Fig12", "Trial 3 transient-state one-way delay (platoon 1)", r.Platoon1.MiddleDelays(), true)
+}
+
+// Fig13 — Trial 3 overall one-way delay, platoon 2.
+func Fig13(r *TrialResult) Figure {
+	return delayFigure("Fig13", "Trial 3 one-way delay (platoon 2)", r.Platoon2.MiddleDelays(), false)
+}
+
+// Fig14 — Trial 3 transient-state one-way delay, platoon 2.
+func Fig14(r *TrialResult) Figure {
+	return delayFigure("Fig14", "Trial 3 transient-state one-way delay (platoon 2)", r.Platoon2.MiddleDelays(), true)
+}
+
+// Fig15 — Trial 3 throughput over time, platoon 1.
+func Fig15(r *TrialResult) Figure {
+	return throughputFigure("Fig15", "Trial 3 throughput (platoon 1)", r.Platoon1.Throughput(), r.Config.Duration)
+}

@@ -1,0 +1,3 @@
+module vanetsim
+
+go 1.22

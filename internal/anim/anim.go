@@ -1,0 +1,201 @@
+// Package anim records vehicle positions over a run and renders them as
+// terminal animation frames — the role the Nam animator played in the
+// paper's workflow ("the above command automatically launches the Nam
+// network animator when the simulation completes").
+package anim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"vanetsim/internal/geom"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// Sample is one node's position at one instant.
+type Sample struct {
+	T   sim.Time
+	Pos geom.Vec2
+}
+
+// Recorder samples registered nodes' positions at a fixed interval.
+type Recorder struct {
+	sched    *sim.Scheduler
+	interval sim.Time
+
+	order  []packet.NodeID
+	posFns map[packet.NodeID]func() geom.Vec2
+	tracks map[packet.NodeID][]Sample
+
+	running bool
+	until   sim.Time
+}
+
+// NewRecorder creates a recorder sampling every interval.
+func NewRecorder(sched *sim.Scheduler, interval sim.Time) *Recorder {
+	if interval <= 0 {
+		panic("anim: non-positive sample interval")
+	}
+	return &Recorder{
+		sched:    sched,
+		interval: interval,
+		posFns:   make(map[packet.NodeID]func() geom.Vec2),
+		tracks:   make(map[packet.NodeID][]Sample),
+	}
+}
+
+// Track registers a node to be sampled. Call before Start.
+func (r *Recorder) Track(id packet.NodeID, pos func() geom.Vec2) {
+	if _, dup := r.posFns[id]; dup {
+		panic(fmt.Sprintf("anim: node %v tracked twice", id))
+	}
+	r.order = append(r.order, id)
+	r.posFns[id] = pos
+}
+
+// Start begins sampling (first sample immediately) until the given time.
+func (r *Recorder) Start(until sim.Time) {
+	if r.running {
+		return
+	}
+	r.running = true
+	r.until = until
+	r.sample()
+}
+
+func (r *Recorder) sample() {
+	now := r.sched.Now()
+	if now > r.until {
+		r.running = false
+		return
+	}
+	for _, id := range r.order {
+		r.tracks[id] = append(r.tracks[id], Sample{T: now, Pos: r.posFns[id]()})
+	}
+	r.sched.Schedule(r.interval, r.sample)
+}
+
+// Nodes returns the tracked node IDs in registration order.
+func (r *Recorder) Nodes() []packet.NodeID {
+	out := make([]packet.NodeID, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Track samples for one node, in time order.
+func (r *Recorder) Samples(id packet.NodeID) []Sample { return r.tracks[id] }
+
+// Frames returns the number of sampling instants recorded.
+func (r *Recorder) Frames() int {
+	if len(r.order) == 0 {
+		return 0
+	}
+	return len(r.tracks[r.order[0]])
+}
+
+// Viewport is the world-coordinate window rendered into frames.
+type Viewport struct {
+	Min, Max geom.Vec2
+}
+
+// AutoViewport returns the tightest viewport containing every recorded
+// sample, padded by pad metres on each side.
+func (r *Recorder) AutoViewport(pad float64) Viewport {
+	lo := geom.V(math.Inf(1), math.Inf(1))
+	hi := geom.V(math.Inf(-1), math.Inf(-1))
+	for _, samples := range r.tracks {
+		for _, s := range samples {
+			lo.X = math.Min(lo.X, s.Pos.X)
+			lo.Y = math.Min(lo.Y, s.Pos.Y)
+			hi.X = math.Max(hi.X, s.Pos.X)
+			hi.Y = math.Max(hi.Y, s.Pos.Y)
+		}
+	}
+	if math.IsInf(lo.X, 1) {
+		return Viewport{Min: geom.V(-1, -1), Max: geom.V(1, 1)}
+	}
+	return Viewport{
+		Min: geom.V(lo.X-pad, lo.Y-pad),
+		Max: geom.V(hi.X+pad, hi.Y+pad),
+	}
+}
+
+// glyph assigns a stable single-character label per node.
+func glyph(i int) byte {
+	const alphabet = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return alphabet[i%len(alphabet)]
+}
+
+// RenderFrame draws the recorded positions at frame index f (see Frames)
+// on a width×height character grid.
+func (r *Recorder) RenderFrame(f int, vp Viewport, width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", width))
+	}
+	spanX := vp.Max.X - vp.Min.X
+	spanY := vp.Max.Y - vp.Min.Y
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	var ts sim.Time
+	for i, id := range r.order {
+		samples := r.tracks[id]
+		if f < 0 || f >= len(samples) {
+			continue
+		}
+		s := samples[f]
+		ts = s.T
+		c := int((s.Pos.X - vp.Min.X) / spanX * float64(width-1))
+		row := height - 1 - int((s.Pos.Y-vp.Min.Y)/spanY*float64(height-1))
+		if c >= 0 && c < width && row >= 0 && row < height {
+			grid[row][c] = glyph(i)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%7.2fs  [%.0f..%.0f]x[%.0f..%.0f] m\n",
+		float64(ts), vp.Min.X, vp.Max.X, vp.Min.Y, vp.Max.Y)
+	for _, line := range grid {
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Play writes every stride-th frame to w.
+func (r *Recorder) Play(w io.Writer, vp Viewport, width, height, stride int) error {
+	if stride < 1 {
+		stride = 1
+	}
+	for f := 0; f < r.Frames(); f += stride {
+		if _, err := io.WriteString(w, r.RenderFrame(f, vp, width, height)); err != nil {
+			return fmt.Errorf("anim: %w", err)
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return fmt.Errorf("anim: %w", err)
+		}
+	}
+	return nil
+}
+
+// Legend maps glyphs back to node IDs, one per line, in registration
+// order.
+func (r *Recorder) Legend() string {
+	var b strings.Builder
+	for i, id := range r.order {
+		fmt.Fprintf(&b, "%c = node %v\n", glyph(i), id)
+	}
+	return b.String()
+}

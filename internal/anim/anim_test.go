@@ -1,0 +1,147 @@
+package anim
+
+import (
+	"strings"
+	"testing"
+
+	"vanetsim/internal/geom"
+	"vanetsim/internal/mobility"
+	"vanetsim/internal/sim"
+)
+
+func TestRecorderSamplesAtInterval(t *testing.T) {
+	s := sim.New()
+	v := mobility.NewVehicle(1, s, geom.V(0, 0))
+	r := NewRecorder(s, 1)
+	r.Track(1, v.Position)
+	v.SetDest(geom.V(0, 100), 10) // 10 s of travel
+	r.Start(10)
+	s.Run()
+	samples := r.Samples(1)
+	if len(samples) != 11 { // t = 0..10 inclusive
+		t.Fatalf("samples = %d, want 11", len(samples))
+	}
+	if samples[5].T != 5 || !samples[5].Pos.ApproxEqual(geom.V(0, 50), 1e-9) {
+		t.Fatalf("sample 5 = %+v", samples[5])
+	}
+	if r.Frames() != 11 {
+		t.Fatalf("Frames = %d", r.Frames())
+	}
+}
+
+func TestRecorderMultipleNodes(t *testing.T) {
+	s := sim.New()
+	a := mobility.NewVehicle(1, s, geom.V(0, 0))
+	b := mobility.NewVehicle(2, s, geom.V(10, 0))
+	r := NewRecorder(s, 0.5)
+	r.Track(1, a.Position)
+	r.Track(2, b.Position)
+	r.Start(2)
+	s.Run()
+	if len(r.Nodes()) != 2 {
+		t.Fatalf("nodes = %v", r.Nodes())
+	}
+	if len(r.Samples(1)) != len(r.Samples(2)) {
+		t.Fatal("tracks out of sync")
+	}
+}
+
+func TestTrackDuplicatePanics(t *testing.T) {
+	s := sim.New()
+	r := NewRecorder(s, 1)
+	r.Track(1, func() geom.Vec2 { return geom.V(0, 0) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Track did not panic")
+		}
+	}()
+	r.Track(1, func() geom.Vec2 { return geom.V(0, 0) })
+}
+
+func TestNewRecorderPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	NewRecorder(sim.New(), 0)
+}
+
+func TestAutoViewport(t *testing.T) {
+	s := sim.New()
+	v := mobility.NewVehicle(1, s, geom.V(-10, 5))
+	r := NewRecorder(s, 1)
+	r.Track(1, v.Position)
+	v.SetDest(geom.V(30, 5), 10)
+	r.Start(4)
+	s.Run()
+	vp := r.AutoViewport(2)
+	if vp.Min.X > -12+1e-9 && vp.Min.X < -12-1e-9 {
+		t.Fatalf("viewport min = %v", vp.Min)
+	}
+	if vp.Min.X != -12 || vp.Min.Y != 3 {
+		t.Fatalf("viewport min = %v, want (-12, 3)", vp.Min)
+	}
+	if vp.Max.Y != 7 {
+		t.Fatalf("viewport max = %v", vp.Max)
+	}
+	// Empty recorder gets a degenerate-but-valid viewport.
+	empty := NewRecorder(sim.New(), 1)
+	evp := empty.AutoViewport(0)
+	if evp.Max.X <= evp.Min.X {
+		t.Fatal("empty viewport inverted")
+	}
+}
+
+func TestRenderFrameShowsGlyphs(t *testing.T) {
+	s := sim.New()
+	a := mobility.NewVehicle(1, s, geom.V(0, 0))
+	b := mobility.NewVehicle(2, s, geom.V(50, 50))
+	r := NewRecorder(s, 1)
+	r.Track(1, a.Position)
+	r.Track(2, b.Position)
+	r.Start(0)
+	s.Run()
+	frame := r.RenderFrame(0, Viewport{Min: geom.V(-10, -10), Max: geom.V(60, 60)}, 40, 12)
+	if !strings.Contains(frame, "0") || !strings.Contains(frame, "1") {
+		t.Fatalf("frame missing node glyphs:\n%s", frame)
+	}
+	if !strings.Contains(frame, "t=") {
+		t.Fatal("frame missing timestamp")
+	}
+	// Node 2 (glyph '1', higher y) must appear on an earlier line than
+	// node 1 (glyph '0') — y grows upward.
+	lines := strings.Split(frame, "\n")
+	row0, row1 := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "0") && i > 0 && row0 == -1 {
+			row0 = i
+		}
+		if strings.Contains(l, "1") && i > 0 && row1 == -1 {
+			row1 = i
+		}
+	}
+	if row1 >= row0 {
+		t.Fatalf("vertical orientation wrong: glyph rows %d vs %d", row1, row0)
+	}
+}
+
+func TestPlayAndLegend(t *testing.T) {
+	s := sim.New()
+	v := mobility.NewVehicle(3, s, geom.V(0, 0))
+	r := NewRecorder(s, 1)
+	r.Track(3, v.Position)
+	v.SetDest(geom.V(0, 100), 10)
+	r.Start(10)
+	s.Run()
+	var sb strings.Builder
+	if err := r.Play(&sb, r.AutoViewport(5), 30, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "t=") != 6 { // frames 0,2,4,6,8,10
+		t.Fatalf("played %d frames, want 6", strings.Count(sb.String(), "t="))
+	}
+	if !strings.Contains(r.Legend(), "0 = node 3") {
+		t.Fatalf("legend = %q", r.Legend())
+	}
+}

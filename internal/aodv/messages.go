@@ -1,0 +1,77 @@
+// Package aodv implements the Ad hoc On-demand Distance Vector routing
+// protocol (RFC 3561 essentials, in the shape of ns-2's AODV agent): the
+// paper's fixed routing parameter. Routes are discovered only on demand by
+// flooding route requests with an expanding ring search, data packets are
+// buffered during discovery, and broken links trigger route errors back
+// toward traffic sources.
+package aodv
+
+import (
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// Wire sizes in bytes (RFC 3561 message formats plus an IP header).
+const (
+	rreqSize     = 24 + 20
+	rrepSize     = 20 + 20
+	rerrBase     = 12 + 20
+	rerrPerDest  = 8
+	helloSize    = 20 + 20
+	aodvPort     = 254 // routing agents talk agent-to-agent on this port
+	infinityHops = 250
+)
+
+// RREQ is a route request, flooded toward the destination.
+type RREQ struct {
+	HopCount  int
+	BcastID   uint32
+	Dst       packet.NodeID
+	DstSeq    uint32
+	DstKnown  bool // false = "unknown sequence number" flag
+	Origin    packet.NodeID
+	OriginSeq uint32
+}
+
+// ClonePayload implements packet.Payload.
+func (m *RREQ) ClonePayload() packet.Payload {
+	c := *m
+	return &c
+}
+
+// RREP is a route reply, unicast hop-by-hop back to the request origin.
+// Hellos are RREPs with Hello=true, broadcast with TTL 1.
+type RREP struct {
+	HopCount int
+	Dst      packet.NodeID // the destination the route leads to
+	DstSeq   uint32
+	Origin   packet.NodeID // the node that asked (ignored for hellos)
+	Lifetime sim.Time
+	Hello    bool
+}
+
+// ClonePayload implements packet.Payload.
+func (m *RREP) ClonePayload() packet.Payload {
+	c := *m
+	return &c
+}
+
+// Unreachable names a destination lost with a link break.
+type Unreachable struct {
+	Dst packet.NodeID
+	Seq uint32
+}
+
+// RERR is a route error, propagated toward sources using a broken route.
+type RERR struct {
+	Dests []Unreachable
+}
+
+// ClonePayload implements packet.Payload.
+func (m *RERR) ClonePayload() packet.Payload {
+	c := RERR{Dests: make([]Unreachable, len(m.Dests))}
+	copy(c.Dests, m.Dests)
+	return &c
+}
+
+func rerrSize(n int) int { return rerrBase + rerrPerDest*n }

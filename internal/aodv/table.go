@@ -1,0 +1,143 @@
+package aodv
+
+import (
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// Route is one routing-table entry.
+type Route struct {
+	Dst        packet.NodeID
+	Seq        uint32
+	SeqValid   bool
+	Hops       int
+	NextHop    packet.NodeID
+	Expiry     sim.Time
+	Valid      bool
+	Precursors map[packet.NodeID]bool
+}
+
+// table is the per-node routing table.
+type table struct {
+	routes map[packet.NodeID]*Route
+}
+
+func newTable() *table {
+	return &table{routes: make(map[packet.NodeID]*Route)}
+}
+
+// lookup returns the entry for dst, or nil.
+func (t *table) lookup(dst packet.NodeID) *Route { return t.routes[dst] }
+
+// valid returns the entry for dst only if it is usable at time now.
+func (t *table) valid(dst packet.NodeID, now sim.Time) *Route {
+	r := t.routes[dst]
+	if r == nil || !r.Valid || r.Expiry < now {
+		return nil
+	}
+	return r
+}
+
+// ensure returns the entry for dst, creating an invalid placeholder if
+// none exists.
+func (t *table) ensure(dst packet.NodeID) *Route {
+	r := t.routes[dst]
+	if r == nil {
+		r = &Route{Dst: dst, NextHop: packet.None, Precursors: make(map[packet.NodeID]bool)}
+		t.routes[dst] = r
+	}
+	return r
+}
+
+// update installs fresher route information for dst, following RFC 3561
+// §6.2: accept if the sequence number is newer, or equally fresh with a
+// shorter hop count, or the existing entry is unusable/unknown-seq.
+// It returns true if the entry changed.
+func (t *table) update(dst packet.NodeID, seq uint32, seqValid bool, hops int, nextHop packet.NodeID, expiry sim.Time) bool {
+	r := t.ensure(dst)
+	accept := false
+	switch {
+	case !r.Valid:
+		accept = true
+	case !r.SeqValid:
+		accept = true
+	case seqValid && int32(seq-r.Seq) > 0:
+		accept = true
+	case seqValid && seq == r.Seq && hops < r.Hops:
+		accept = true
+	case !seqValid:
+		// Unknown-sequence updates (e.g. from overheard previous hops)
+		// only refresh lifetime of an existing entry toward the same next
+		// hop; they never downgrade a known-seq route to a different hop.
+		if r.NextHop == nextHop {
+			if expiry > r.Expiry {
+				r.Expiry = expiry
+			}
+			return false
+		}
+		return false
+	}
+	if !accept {
+		// Same-or-older info toward the same next hop still proves the
+		// route is alive: extend its lifetime.
+		if r.NextHop == nextHop && expiry > r.Expiry {
+			r.Expiry = expiry
+		}
+		return false
+	}
+	r.Seq = seq
+	r.SeqValid = seqValid
+	r.Hops = hops
+	r.NextHop = nextHop
+	if expiry > r.Expiry {
+		r.Expiry = expiry
+	}
+	r.Valid = true
+	return true
+}
+
+// refresh extends the lifetime of an active route (and its next hop's
+// entry is the caller's concern).
+func (t *table) refresh(dst packet.NodeID, until sim.Time) {
+	if r := t.routes[dst]; r != nil && r.Valid && until > r.Expiry {
+		r.Expiry = until
+	}
+}
+
+// invalidate marks the route to dst broken, bumping its sequence number so
+// stale information cannot resurrect it. It returns the entry, or nil.
+func (t *table) invalidate(dst packet.NodeID) *Route {
+	r := t.routes[dst]
+	if r == nil || !r.Valid {
+		return nil
+	}
+	r.Valid = false
+	if r.SeqValid {
+		r.Seq++
+	}
+	r.Hops = infinityHops
+	return r
+}
+
+// brokenVia returns every valid route whose next hop is the given
+// neighbour — the set invalidated by a link break.
+func (t *table) brokenVia(neighbour packet.NodeID) []*Route {
+	var out []*Route
+	for _, r := range t.routes {
+		if r.Valid && r.NextHop == neighbour {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// snapshot returns a copy of all entries, for inspection and tests.
+func (t *table) snapshot() []Route {
+	out := make([]Route, 0, len(t.routes))
+	for _, r := range t.routes {
+		cp := *r
+		cp.Precursors = nil
+		out = append(out, cp)
+	}
+	return out
+}

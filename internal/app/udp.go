@@ -1,0 +1,98 @@
+// Package app provides the traffic applications that ride on the transport
+// layer: a constant-bit-rate generator (the paper's "packets are sent at a
+// constant bit rate"), a greedy FTP source, and a minimal UDP datagram
+// agent for connectionless traffic such as EBL status messages.
+package app
+
+import (
+	"vanetsim/internal/netlayer"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// UDPHdrBytes is UDP+IP header overhead.
+const UDPHdrBytes = 28
+
+// UDPSource sends datagrams to a fixed destination without any reliability
+// or congestion control.
+type UDPSource struct {
+	sched   *sim.Scheduler
+	net     *netlayer.Net
+	pf      *packet.Factory
+	srcPort int
+	dst     packet.NodeID
+	dstPort int
+	ptype   packet.Type
+
+	sent int
+}
+
+// NewUDPSource creates a datagram source on net bound to srcPort,
+// addressing (dst, dstPort). ptype tags the datagrams (TypeCBR, TypeEBL).
+func NewUDPSource(sched *sim.Scheduler, n *netlayer.Net, pf *packet.Factory, srcPort int, dst packet.NodeID, dstPort int, ptype packet.Type) *UDPSource {
+	u := &UDPSource{sched: sched, net: n, pf: pf, srcPort: srcPort, dst: dst, dstPort: dstPort, ptype: ptype}
+	n.BindPort(srcPort, noopHandler{})
+	return u
+}
+
+// Sent returns the number of datagrams sent.
+func (u *UDPSource) Sent() int { return u.sent }
+
+// Send transmits one datagram of payload bytes with an optional payload
+// body, returning the packet for test inspection.
+func (u *UDPSource) Send(payload int, body packet.Payload) *packet.Packet {
+	p := u.pf.New(u.ptype, payload+UDPHdrBytes, u.sched.Now())
+	p.IP.Dst = u.dst
+	p.IP.SrcPort = u.srcPort
+	p.IP.DstPort = u.dstPort
+	p.Payload = body
+	p.SentAt = u.sched.Now()
+	u.sent++
+	u.net.SendFrom(p)
+	return p
+}
+
+// SendBytes implements ByteSender so a CBR generator can drive UDP.
+func (u *UDPSource) SendBytes(n int) { u.Send(n, nil) }
+
+// noopHandler absorbs anything addressed back at a source's port.
+type noopHandler struct{}
+
+func (noopHandler) RecvFromNet(*packet.Packet) {}
+
+// UDPSink receives datagrams on a port and exposes them to an observer.
+type UDPSink struct {
+	sched  *sim.Scheduler
+	port   int
+	onRecv func(p *packet.Packet, at sim.Time)
+
+	received int
+	bytes    int
+}
+
+var _ netlayer.PortHandler = (*UDPSink)(nil)
+
+// NewUDPSink binds a datagram sink to port on net.
+func NewUDPSink(sched *sim.Scheduler, n *netlayer.Net, port int) *UDPSink {
+	k := &UDPSink{sched: sched, port: port}
+	n.BindPort(port, k)
+	return k
+}
+
+// OnRecv registers an observer called for every datagram.
+func (k *UDPSink) OnRecv(fn func(p *packet.Packet, at sim.Time)) { k.onRecv = fn }
+
+// Received returns the number of datagrams delivered.
+func (k *UDPSink) Received() int { return k.received }
+
+// Bytes returns cumulative payload bytes delivered.
+func (k *UDPSink) Bytes() int { return k.bytes }
+
+// RecvFromNet implements netlayer.PortHandler.
+func (k *UDPSink) RecvFromNet(p *packet.Packet) {
+	k.received++
+	k.bytes += p.Size - UDPHdrBytes
+	if k.onRecv != nil {
+		k.onRecv(p, k.sched.Now())
+	}
+}

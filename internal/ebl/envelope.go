@@ -1,0 +1,114 @@
+package ebl
+
+import (
+	"math"
+
+	"vanetsim/internal/sim"
+)
+
+// Braking kinematics for the feasibility envelope. The paper's §III.E
+// notes that whether the EBL warning suffices "may or may not leave the
+// vehicle with a sufficient stopping distance, depending on a number of
+// other parameters, including the condition of the brakes, the condition
+// of the tires, the condition of the road, and the reaction time of the
+// driver". BrakingModel makes those parameters explicit so the analysis
+// can be swept instead of hand-waved.
+type BrakingModel struct {
+	// LeadDecel and FollowerDecel are braking decelerations in m/s².
+	// Worn brakes / wet road lower the follower's value.
+	LeadDecel, FollowerDecel float64
+	// Reaction is the driver's (or automation's) delay between the brake
+	// indication arriving and brake application.
+	Reaction sim.Time
+	// Margin is the bumper-to-bumper distance that must remain, in
+	// metres (car length plus safety slack).
+	Margin float64
+}
+
+// DefaultBrakingModel returns dry-road hard braking with a 0.7 s human
+// reaction and a 5 m margin.
+func DefaultBrakingModel() BrakingModel {
+	return BrakingModel{LeadDecel: 7, FollowerDecel: 7, Reaction: 0.7, Margin: 5}
+}
+
+// blindTime is the total time the follower keeps cruising after the lead
+// brakes: radio indication delay plus driver reaction.
+func (m BrakingModel) blindTime(indication sim.Time) float64 {
+	return float64(indication + m.Reaction)
+}
+
+// decelGap returns k = 1/(2·a_f) − 1/(2·a_l): the quadratic coefficient
+// of the extra distance the follower needs because it may brake more
+// weakly than the lead.
+func (m BrakingModel) decelGap() float64 {
+	return 1/(2*m.FollowerDecel) - 1/(2*m.LeadDecel)
+}
+
+// MinSafeGap returns the minimum initial following distance, in metres,
+// that avoids a collision at the given speed when the brake indication
+// takes indication seconds to arrive:
+//
+//	gap ≥ v·(indication + reaction) + v²·(1/2a_f − 1/2a_l) + margin
+//
+// (the classic worst-case leader-braking bound).
+func (m BrakingModel) MinSafeGap(speedMS float64, indication sim.Time) float64 {
+	return speedMS*m.blindTime(indication) + speedMS*speedMS*m.decelGap() + m.Margin
+}
+
+// MaxSafeSpeed returns the highest speed, in m/s, at which the given
+// following gap is still collision-free for the given indication delay.
+// It returns 0 if even a crawl is unsafe (gap below the margin), and
+// +Inf is never returned: equal-or-better follower braking makes the
+// bound linear in v, which still caps the speed for any finite gap
+// whenever blind time is positive; with zero blind time and no decel gap
+// the answer is +Inf conceptually, reported as math.MaxFloat64.
+func (m BrakingModel) MaxSafeSpeed(gapM float64, indication sim.Time) float64 {
+	avail := gapM - m.Margin
+	if avail <= 0 {
+		return 0
+	}
+	k := m.decelGap()
+	d := m.blindTime(indication)
+	switch {
+	case k <= 0 && d <= 0:
+		return math.MaxFloat64
+	case k <= 0:
+		// Follower brakes at least as hard as the lead: only the blind
+		// distance matters. (For k<0 this is conservative.)
+		return avail / d
+	default:
+		// k·v² + d·v − avail = 0, positive root.
+		return (-d + math.Sqrt(d*d+4*k*avail)) / (2 * k)
+	}
+}
+
+// EnvelopeRow is one speed's verdict for the two MACs' indication delays.
+type EnvelopeRow struct {
+	SpeedMS     float64
+	MinGapTDMA  float64
+	MinGap80211 float64
+	// SafeAt25TDMA / SafeAt2580211 report whether the paper's 25 m
+	// separation suffices at this speed.
+	SafeAt25TDMA  bool
+	SafeAt2580211 bool
+}
+
+// FeasibilityEnvelope sweeps speeds and reports the minimum safe gap per
+// MAC, given each MAC's measured initial-packet indication delay — the
+// quantitative version of the paper's "may or may not leave the vehicle
+// with a sufficient stopping distance".
+func FeasibilityEnvelope(model BrakingModel, delayTDMA, delay80211 sim.Time, speedsMS []float64) []EnvelopeRow {
+	rows := make([]EnvelopeRow, 0, len(speedsMS))
+	for _, v := range speedsMS {
+		gT := model.MinSafeGap(v, delayTDMA)
+		gD := model.MinSafeGap(v, delay80211)
+		rows = append(rows, EnvelopeRow{
+			SpeedMS:       v,
+			MinGapTDMA:    gT,
+			MinGap80211:   gD,
+			SafeAt25TDMA:  gT <= 25,
+			SafeAt2580211: gD <= 25,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecArithmetic(t *testing.T) {
+	a, b := V(1, 2), V(3, -4)
+	if got := a.Add(b); got != V(4, -2) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-2, 6) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 3-8 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestLenDist(t *testing.T) {
+	if got := V(3, 4).Len(); got != 5 {
+		t.Fatalf("Len = %v, want 5", got)
+	}
+	if got := V(3, 4).LenSq(); got != 25 {
+		t.Fatalf("LenSq = %v, want 25", got)
+	}
+	if got := V(1, 1).Dist(V(4, 5)); got != 5 {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+	if got := V(1, 1).DistSq(V(4, 5)); got != 25 {
+		t.Fatalf("DistSq = %v, want 25", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := V(0, -7).Unit()
+	if u != V(0, -1) {
+		t.Fatalf("Unit = %v, want (0,-1)", u)
+	}
+	if z := V(0, 0).Unit(); z != V(0, 0) {
+		t.Fatalf("Unit of zero = %v, want zero", z)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := V(0, 0), V(10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Fatalf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Fatalf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != V(5, 10) {
+		t.Fatalf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !V(1, 1).ApproxEqual(V(1.0001, 0.9999), 0.001) {
+		t.Fatal("ApproxEqual should hold within tolerance")
+	}
+	if V(1, 1).ApproxEqual(V(1.1, 1), 0.001) {
+		t.Fatal("ApproxEqual should fail outside tolerance")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := V(1.5, -2).String(); got != "(1.50, -2.00)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: triangle inequality for Dist.
+func TestTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a, b, c := V(float64(ax), float64(ay)), V(float64(bx), float64(by)), V(float64(cx), float64(cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unit has length 1 (for non-zero vectors) and preserves
+// direction.
+func TestUnitProperty(t *testing.T) {
+	f := func(x, y int16) bool {
+		v := V(float64(x), float64(y))
+		u := v.Unit()
+		if v.Len() == 0 {
+			return u == Vec2{}
+		}
+		return math.Abs(u.Len()-1) < 1e-9 && u.Dot(v) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package jammer models denial-of-service radio interference against the
+// inter-vehicle network — the attack the paper's §III.E discussion (and
+// its companion work on DoS prevention) raises when weighing 802.11's
+// performance against TDMA+FHSS's resilience. A jammer is a bare radio
+// with no protocol stack that floods its channel with meaningless frames:
+// they are never delivered upward, but they occupy the medium, defeat
+// carrier sense and corrupt overlapping receptions.
+package jammer
+
+import (
+	"vanetsim/internal/mac"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/phy"
+	"vanetsim/internal/sim"
+)
+
+// Config shapes the interference.
+type Config struct {
+	// Channel is the frequency channel to jam (Sweep overrides).
+	Channel int
+	// Sweep, when positive, cycles the jammer across channels 0..Sweep-1,
+	// dwelling one burst per channel — a sweep jammer against FHSS.
+	Sweep int
+	// FrameBytes is the size of each jamming burst.
+	FrameBytes int
+	// RateBps is the jammer's transmit bit rate.
+	RateBps float64
+	// DutyCycle in (0, 1] is the fraction of time spent transmitting.
+	DutyCycle float64
+	// StartAt and StopAt bound the attack window; StopAt 0 means forever.
+	StartAt, StopAt sim.Time
+}
+
+// DefaultConfig returns a continuous single-channel jammer.
+func DefaultConfig() Config {
+	return Config{
+		Channel:    0,
+		FrameBytes: 1500,
+		RateBps:    1e6,
+		DutyCycle:  1.0,
+	}
+}
+
+// Jammer is an attacking node. It implements phy.MAC so it can own a
+// radio, but it ignores everything it hears.
+type Jammer struct {
+	id    packet.NodeID
+	sched *sim.Scheduler
+	radio *phy.Radio
+	pf    *packet.Factory
+	cfg   Config
+
+	channel int
+	bursts  int
+	running bool
+}
+
+var _ phy.MAC = (*Jammer)(nil)
+
+// New creates a jammer on the given radio and starts it per cfg. The
+// radio must already be attached to a channel.
+func New(id packet.NodeID, sched *sim.Scheduler, radio *phy.Radio, pf *packet.Factory, cfg Config) *Jammer {
+	if cfg.FrameBytes <= 0 || cfg.RateBps <= 0 || cfg.DutyCycle <= 0 || cfg.DutyCycle > 1 {
+		panic("jammer: invalid config")
+	}
+	j := &Jammer{id: id, sched: sched, radio: radio, pf: pf, cfg: cfg, channel: cfg.Channel}
+	radio.SetMAC(j)
+	radio.SetFreqFn(func() int { return j.channel })
+	sched.At(maxTime(cfg.StartAt, sched.Now()), j.start)
+	return j
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Bursts returns how many jamming frames have been transmitted.
+func (j *Jammer) Bursts() int { return j.bursts }
+
+// Running reports whether the attack is active.
+func (j *Jammer) Running() bool { return j.running }
+
+func (j *Jammer) start() {
+	j.running = true
+	j.burst()
+}
+
+func (j *Jammer) burst() {
+	if !j.running {
+		return
+	}
+	if j.cfg.StopAt > 0 && j.sched.Now() >= j.cfg.StopAt {
+		j.running = false
+		return
+	}
+	if j.cfg.Sweep > 0 {
+		j.channel = j.bursts % j.cfg.Sweep
+	}
+	p := j.pf.New(packet.TypeCBR, j.cfg.FrameBytes, j.sched.Now())
+	p.Mac = packet.MacHdr{Src: j.id, Dst: packet.Broadcast, Subtype: packet.MacJam}
+	dur := mac.Duration(j.cfg.FrameBytes, j.cfg.RateBps)
+	j.bursts++
+	j.radio.Transmit(p, dur)
+	period := sim.Time(float64(dur) / j.cfg.DutyCycle)
+	j.sched.Schedule(period, j.burst)
+}
+
+// RecvFromPhy implements phy.MAC: the jammer ignores all traffic.
+func (j *Jammer) RecvFromPhy(*packet.Packet, bool) {}
+
+// ChannelBusy implements phy.MAC.
+func (j *Jammer) ChannelBusy() {}
+
+// ChannelIdle implements phy.MAC.
+func (j *Jammer) ChannelIdle() {}

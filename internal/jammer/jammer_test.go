@@ -1,0 +1,170 @@
+package jammer_test
+
+import (
+	"testing"
+
+	"vanetsim/internal/geom"
+	"vanetsim/internal/jammer"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/phy"
+	"vanetsim/internal/sim"
+)
+
+type recorder struct {
+	frames    int
+	dataClean int // clean MacData frames (jam bursts excluded)
+	corrupted int
+	busy      int
+}
+
+func (m *recorder) RecvFromPhy(p *packet.Packet, corrupt bool) {
+	if corrupt {
+		m.corrupted++
+		return
+	}
+	m.frames++
+	if p.Mac.Subtype == packet.MacData {
+		m.dataClean++
+	}
+}
+func (m *recorder) ChannelBusy() { m.busy++ }
+func (m *recorder) ChannelIdle() {}
+
+func rig(t *testing.T) (*sim.Scheduler, *phy.Channel, *packet.Factory) {
+	t.Helper()
+	s := sim.New()
+	return s, phy.NewChannel(s, phy.DefaultPropagation()), &packet.Factory{}
+}
+
+func victim(s *sim.Scheduler, ch *phy.Channel, id packet.NodeID, x float64) (*phy.Radio, *recorder) {
+	r := phy.NewRadio(id, s, func() geom.Vec2 { return geom.V(x, 0) }, phy.DefaultRadioParams())
+	m := &recorder{}
+	r.SetMAC(m)
+	ch.Attach(r)
+	return r, m
+}
+
+func newJammer(s *sim.Scheduler, ch *phy.Channel, pf *packet.Factory, cfg jammer.Config) *jammer.Jammer {
+	r := phy.NewRadio(99, s, func() geom.Vec2 { return geom.V(0, 30) }, phy.DefaultRadioParams())
+	ch.Attach(r)
+	return jammer.New(99, s, r, pf, cfg)
+}
+
+func TestJammerFloodsContinuously(t *testing.T) {
+	s, ch, pf := rig(t)
+	_, vm := victim(s, ch, 1, 0)
+	cfg := jammer.DefaultConfig() // 1500 B at 1 Mb/s = 12 ms per burst
+	j := newJammer(s, ch, pf, cfg)
+	s.RunUntil(1.2)
+	if got := j.Bursts(); got < 95 || got > 105 {
+		t.Fatalf("bursts in 1.2 s = %d, want ~100 at full duty", got)
+	}
+	// The victim senses the energy but never gets a deliverable frame
+	// (jam frames are not MacData; this recorder counts raw deliveries,
+	// which the radio does make — the MAC-level filtering is tested in
+	// mactdma/mac80211).
+	if vm.busy == 0 {
+		t.Fatal("victim never sensed the jammer")
+	}
+}
+
+func TestJammerDutyCycle(t *testing.T) {
+	s, ch, pf := rig(t)
+	victim(s, ch, 1, 0)
+	cfg := jammer.DefaultConfig()
+	cfg.DutyCycle = 0.5
+	j := newJammer(s, ch, pf, cfg)
+	s.RunUntil(1.2)
+	if got := j.Bursts(); got < 45 || got > 55 {
+		t.Fatalf("bursts at 50%% duty = %d, want ~50", got)
+	}
+}
+
+func TestJammerWindow(t *testing.T) {
+	s, ch, pf := rig(t)
+	victim(s, ch, 1, 0)
+	cfg := jammer.DefaultConfig()
+	cfg.StartAt = 1
+	cfg.StopAt = 2
+	j := newJammer(s, ch, pf, cfg)
+	s.RunUntil(0.5)
+	if j.Bursts() != 0 || j.Running() {
+		t.Fatal("jammer active before StartAt")
+	}
+	s.RunUntil(3)
+	if j.Running() {
+		t.Fatal("jammer still running after StopAt")
+	}
+	if got := j.Bursts(); got < 75 || got > 90 {
+		t.Fatalf("bursts in a 1 s window = %d, want ~83", got)
+	}
+}
+
+func TestJammerSweepCyclesChannels(t *testing.T) {
+	s, ch, pf := rig(t)
+	// Victim tuned to channel 3: a sweep over 4 channels should be heard
+	// only ~1/4 of the time.
+	r := phy.NewRadio(1, s, func() geom.Vec2 { return geom.V(0, 0) }, phy.DefaultRadioParams())
+	m := &recorder{}
+	r.SetMAC(m)
+	r.SetFreqFn(func() int { return 3 })
+	ch.Attach(r)
+	cfg := jammer.DefaultConfig()
+	cfg.Sweep = 4
+	j := newJammer(s, ch, pf, cfg)
+	s.RunUntil(1.2)
+	heard := m.frames + m.corrupted
+	if heard == 0 {
+		t.Fatal("sweep jammer never crossed the victim's channel")
+	}
+	if frac := float64(heard) / float64(j.Bursts()); frac < 0.15 || frac > 0.35 {
+		t.Fatalf("victim heard %.2f of sweep bursts, want ~0.25", frac)
+	}
+}
+
+func TestJammerCorruptsOverlappingReception(t *testing.T) {
+	s, ch, pf := rig(t)
+	// A legitimate sender and a jammer close to the receiver.
+	tx, _ := victim(s, ch, 1, 0)
+	_, rxm := victim(s, ch, 2, 25)
+	cfg := jammer.DefaultConfig()
+	newJammer(s, ch, pf, cfg) // at (0, 30): 39 m from rx — no capture escape
+	var f packet.Factory
+	s.Schedule(0.1, func() {
+		p := f.New(packet.TypeTCP, 1000, s.Now())
+		p.Mac = packet.MacHdr{Src: 1, Dst: 2, Subtype: packet.MacData}
+		tx.Transmit(p, 8*sim.Millisecond)
+	})
+	s.RunUntil(0.5)
+	if rxm.dataClean > 0 {
+		t.Fatalf("data frame survived continuous co-channel jamming (%d clean)", rxm.dataClean)
+	}
+}
+
+func TestJammerIgnoresIncoming(t *testing.T) {
+	s, ch, pf := rig(t)
+	tx, _ := victim(s, ch, 1, 0)
+	cfg := jammer.DefaultConfig()
+	cfg.StartAt = 10
+	j := newJammer(s, ch, pf, cfg)
+	var f packet.Factory
+	p := f.New(packet.TypeTCP, 100, 0)
+	p.Mac = packet.MacHdr{Src: 1, Dst: packet.Broadcast, Subtype: packet.MacData}
+	tx.Transmit(p, sim.Millisecond)
+	s.RunUntil(1)
+	if j.Bursts() != 0 {
+		t.Fatal("incoming traffic should not trigger the jammer")
+	}
+}
+
+func TestJammerBadConfigPanics(t *testing.T) {
+	s, ch, pf := rig(t)
+	cfg := jammer.DefaultConfig()
+	cfg.DutyCycle = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero duty cycle did not panic")
+		}
+	}()
+	newJammer(s, ch, pf, cfg)
+}

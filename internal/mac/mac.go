@@ -1,0 +1,38 @@
+// Package mac defines the contract between the network layer, an
+// interface queue, and a medium-access protocol. The paper's variable
+// parameter "MAC type" selects between the two implementations:
+// internal/mactdma (Time Division Multiple Access) and internal/mac80211
+// (IEEE 802.11 DCF).
+package mac
+
+import (
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// Upcall is the interface the network layer exposes to its MAC.
+type Upcall interface {
+	// RecvFromMac delivers a frame addressed to this node (or broadcast),
+	// already stripped of MAC-level concerns.
+	RecvFromMac(p *packet.Packet)
+	// MacTxDone reports the fate of a frame previously handed to the MAC:
+	// ok=false means the MAC exhausted its retries (802.11) — AODV treats
+	// that as a broken link. Broadcast frames always report ok=true.
+	MacTxDone(p *packet.Packet, ok bool)
+}
+
+// MAC is a medium-access protocol instance bound to one radio and one
+// interface queue.
+type MAC interface {
+	// ID returns the node this MAC belongs to.
+	ID() packet.NodeID
+	// Poke tells the MAC that the interface queue may have a packet for
+	// it. Poke is idempotent and cheap; the network layer calls it after
+	// every enqueue.
+	Poke()
+}
+
+// Duration returns the time to clock out n bytes at rate bits/second.
+func Duration(n int, rateBps float64) sim.Time {
+	return sim.Time(float64(n) * 8 / rateBps)
+}

@@ -1,0 +1,36 @@
+package mac
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDuration(t *testing.T) {
+	// 1,000 bytes at 1 Mb/s = 8 ms.
+	if got := Duration(1000, 1e6); math.Abs(float64(got)-0.008) > 1e-12 {
+		t.Fatalf("Duration = %v, want 8 ms", got)
+	}
+	// 1,500 bytes at 2 Mb/s = 6 ms.
+	if got := Duration(1500, 2e6); math.Abs(float64(got)-0.006) > 1e-12 {
+		t.Fatalf("Duration = %v, want 6 ms", got)
+	}
+	if Duration(0, 1e6) != 0 {
+		t.Fatal("zero bytes should take zero time")
+	}
+}
+
+// Property: duration is linear in size and inverse in rate.
+func TestDurationScalingProperty(t *testing.T) {
+	f := func(nRaw uint16, rateRaw uint8) bool {
+		n := int(nRaw%10000) + 1
+		rate := float64(rateRaw%10+1) * 1e6
+		d1 := Duration(n, rate)
+		d2 := Duration(2*n, rate)
+		d3 := Duration(n, 2*rate)
+		return math.Abs(float64(d2-2*d1)) < 1e-15 && math.Abs(float64(d3-d1/2)) < 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

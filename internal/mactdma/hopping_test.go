@@ -1,0 +1,129 @@
+package mactdma
+
+import (
+	"testing"
+
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+func TestHoppingDisabledByDefault(t *testing.T) {
+	sch := NewSchedule(sim.Millisecond)
+	if sch.Hopping().Enabled() {
+		t.Fatal("hopping should default off")
+	}
+	for _, at := range []sim.Time{0, 0.5, 7} {
+		if sch.ChannelAt(at) != 0 {
+			t.Fatal("non-hopping schedule must stay on channel 0")
+		}
+	}
+}
+
+func TestHoppingDeterministicPerSlot(t *testing.T) {
+	sch := NewSchedule(sim.Millisecond)
+	sch.SetHopping(Hopping{Channels: 8, Seed: 42})
+	// Constant within a slot, reproducible across queries.
+	a := sch.ChannelAt(0.0001)
+	b := sch.ChannelAt(0.0009)
+	if a != b {
+		t.Fatalf("channel changed within a slot: %d vs %d", a, b)
+	}
+	other := NewSchedule(sim.Millisecond)
+	other.SetHopping(Hopping{Channels: 8, Seed: 42})
+	for i := 0; i < 100; i++ {
+		at := sim.Time(i) * sim.Millisecond
+		if sch.ChannelAt(at) != other.ChannelAt(at) {
+			t.Fatal("same seed, different hop sequence")
+		}
+	}
+}
+
+func TestHoppingCoversChannels(t *testing.T) {
+	sch := NewSchedule(sim.Millisecond)
+	const n = 8
+	sch.SetHopping(Hopping{Channels: n, Seed: 7})
+	seen := make(map[int]int)
+	for i := 0; i < 1000; i++ {
+		c := sch.ChannelAt(sim.Time(i) * sim.Millisecond)
+		if c < 0 || c >= n {
+			t.Fatalf("channel %d out of range", c)
+		}
+		seen[c]++
+	}
+	if len(seen) != n {
+		t.Fatalf("hop sequence used %d/%d channels in 1000 slots", len(seen), n)
+	}
+	for c, count := range seen {
+		if count < 60 || count > 200 {
+			t.Fatalf("channel %d badly skewed: %d/1000 slots", c, count)
+		}
+	}
+}
+
+func TestHoppingSeedsDiffer(t *testing.T) {
+	a := NewSchedule(sim.Millisecond)
+	a.SetHopping(Hopping{Channels: 16, Seed: 1})
+	b := NewSchedule(sim.Millisecond)
+	b.SetHopping(Hopping{Channels: 16, Seed: 2})
+	same := 0
+	for i := 0; i < 200; i++ {
+		at := sim.Time(i) * sim.Millisecond
+		if a.ChannelAt(at) == b.ChannelAt(at) {
+			same++
+		}
+	}
+	// Expect ~1/16 coincidence, certainly not lockstep.
+	if same > 50 {
+		t.Fatalf("different seeds coincide on %d/200 slots", same)
+	}
+}
+
+func TestHoppingMACRetunesRadioAndStillDelivers(t *testing.T) {
+	// Build the schedule with hopping enabled *before* the MACs, as the
+	// scenario builder does: every node then follows the same hop
+	// sequence and intra-network delivery is unaffected.
+	cfg := DefaultConfig()
+	s := sim.New()
+	ch := newTestChannel(s)
+	schedule := NewSchedule(cfg.SlotDuration())
+	schedule.SetHopping(Hopping{Channels: 4, Seed: 9})
+	nodes := make([]*node, 2)
+	for i := range nodes {
+		nodes[i] = newTestNode(t, s, ch, schedule, cfg, packet.NodeID(i), float64(i)*50)
+	}
+	var f packet.Factory
+	for i := 0; i < 10; i++ {
+		send(&f, nodes[0], 1, 500)
+	}
+	s.RunUntil(2)
+	if got := len(nodes[1].up.received); got != 10 {
+		t.Fatalf("delivered %d/10 under common hopping", got)
+	}
+	// The hop sequence really does change channel across slots.
+	varies := false
+	base := schedule.ChannelAt(0)
+	for i := 1; i < 50; i++ {
+		if schedule.ChannelAt(sim.Time(i)*schedule.SlotDuration()) != base {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("hop sequence never changed channel")
+	}
+}
+
+func TestJamSubtypeFiltered(t *testing.T) {
+	cfg := DefaultConfig()
+	_, _, nodes := rig(t, 2, cfg)
+	var f packet.Factory
+	p := f.New(packet.TypeCBR, 100, 0)
+	p.Mac = packet.MacHdr{Src: 5, Dst: packet.Broadcast, Subtype: packet.MacJam}
+	nodes[1].mac.RecvFromPhy(p, false)
+	if len(nodes[1].up.received) != 0 {
+		t.Fatal("jam frame delivered to network layer")
+	}
+	if nodes[1].mac.Stats().RxFiltered != 1 {
+		t.Fatal("jam frame not counted as filtered")
+	}
+}

@@ -1,0 +1,207 @@
+// Package metrics computes the paper's performance measures from
+// simulation observations: per-packet one-way delay as a function of
+// packet ID (Figs. 5–14), binned throughput over time (Figs. 7, 10, 15),
+// transient/steady-state separation, and the summary statistics and
+// confidence analysis reported in the text.
+package metrics
+
+import (
+	"math"
+
+	"vanetsim/internal/sim"
+	"vanetsim/internal/stats"
+)
+
+// DelayPoint is one packet's one-way delay, indexed by its per-flow packet
+// ID (the x-axis of the paper's delay figures).
+type DelayPoint struct {
+	ID    int
+	Delay sim.Time
+}
+
+// DelaySeries accumulates one flow's delay measurements in arrival order.
+type DelaySeries struct {
+	points []DelayPoint
+}
+
+// Add appends a measurement.
+func (s *DelaySeries) Add(id int, d sim.Time) {
+	s.points = append(s.points, DelayPoint{ID: id, Delay: d})
+}
+
+// Points returns the series in arrival order.
+func (s *DelaySeries) Points() []DelayPoint { return s.points }
+
+// Len returns the number of measurements.
+func (s *DelaySeries) Len() int { return len(s.points) }
+
+// Delays returns just the delay values, in seconds.
+func (s *DelaySeries) Delays() []float64 {
+	out := make([]float64, len(s.points))
+	for i, p := range s.points {
+		out[i] = float64(p.Delay)
+	}
+	return out
+}
+
+// Summary returns avg/min/max over the whole series — the per-vehicle
+// numbers the paper reports.
+func (s *DelaySeries) Summary() stats.Summary { return stats.Summarize(s.Delays()) }
+
+// First returns the initial packet's delay — the figure the paper's
+// stopping-distance analysis is built on ("the one-way delay of the
+// initial packet will be used ... since this will be the first indication
+// to trailing vehicles that a lead vehicle is applying its brakes").
+// It returns 0, false for an empty series.
+func (s *DelaySeries) First() (sim.Time, bool) {
+	if len(s.points) == 0 {
+		return 0, false
+	}
+	return s.points[0].Delay, true
+}
+
+// SplitAt divides the series into transient (IDs < cut) and steady parts.
+func (s *DelaySeries) SplitAt(cut int) (transient, steady []DelayPoint) {
+	for i, p := range s.points {
+		if p.ID >= cut {
+			return s.points[:i], s.points[i:]
+		}
+	}
+	return s.points, nil
+}
+
+// TruncationIndex locates the end of the warm-up transient with the MSER-5
+// rule (White 1997): batch the series in fives, then choose the truncation
+// that minimises the standard error of the remaining mean. It returns an
+// index into Points(); 0 means no detectable transient.
+func (s *DelaySeries) TruncationIndex() int {
+	const batch = 5
+	xs := s.Delays()
+	n := len(xs) / batch
+	if n < 4 {
+		return 0
+	}
+	means := make([]float64, n)
+	for b := 0; b < n; b++ {
+		sum := 0.0
+		for i := b * batch; i < (b+1)*batch; i++ {
+			sum += xs[i]
+		}
+		means[b] = sum / batch
+	}
+	bestD, bestSE := 0, math.Inf(1)
+	// Never truncate more than half the series (standard MSER guard).
+	// Prefer the earliest truncation on numerical near-ties so a long
+	// perfectly-flat steady state is not over-trimmed by float noise.
+	for d := 0; d <= n/2; d++ {
+		sm := stats.Summarize(means[d:])
+		se := sm.Std / math.Sqrt(float64(sm.N))
+		if se < bestSE-1e-12 {
+			bestSE, bestD = se, d
+		}
+	}
+	return bestD * batch
+}
+
+// SteadyState returns the post-transient portion (per MSER-5) and its
+// mean level — the paper's "steady state with a one-way delay of
+// approximately X seconds".
+func (s *DelaySeries) SteadyState() ([]DelayPoint, float64) {
+	cut := s.TruncationIndex()
+	rest := s.points[cut:]
+	if len(rest) == 0 {
+		return nil, 0
+	}
+	sum := 0.0
+	for _, p := range rest {
+		sum += float64(p.Delay)
+	}
+	return rest, sum / float64(len(rest))
+}
+
+// TPoint is one throughput bin: the average rate over [T, T+bin).
+type TPoint struct {
+	T    sim.Time
+	Mbps float64
+}
+
+// Throughput bins received bytes into fixed intervals, replicating the
+// paper's Tcl `record` procedure ($bw/$time*8 sampled periodically).
+type Throughput struct {
+	bin   sim.Time
+	bytes []int
+}
+
+// NewThroughput creates a sampler with the given bin width. The paper's
+// record interval (0.5 s here) sets the time resolution of Figs. 7/10/15.
+func NewThroughput(bin sim.Time) *Throughput {
+	if bin <= 0 {
+		panic("metrics: non-positive throughput bin")
+	}
+	return &Throughput{bin: bin}
+}
+
+// Bin returns the bin width.
+func (t *Throughput) Bin() sim.Time { return t.bin }
+
+// Add records n bytes received at time at.
+func (t *Throughput) Add(at sim.Time, n int) {
+	if at < 0 || n < 0 {
+		panic("metrics: negative time or byte count")
+	}
+	idx := int(at / t.bin)
+	for len(t.bytes) <= idx {
+		t.bytes = append(t.bytes, 0)
+	}
+	t.bytes[idx] += n
+}
+
+// SeriesUntil returns the binned rate series covering [0, end), including
+// empty bins — the paper's figures show the silent prefix before
+// communication starts.
+func (t *Throughput) SeriesUntil(end sim.Time) []TPoint {
+	n := int(math.Ceil(float64(end / t.bin)))
+	out := make([]TPoint, 0, n)
+	for i := 0; i < n; i++ {
+		b := 0
+		if i < len(t.bytes) {
+			b = t.bytes[i]
+		}
+		out = append(out, TPoint{
+			T:    sim.Time(float64(i)) * t.bin,
+			Mbps: float64(b) * 8 / float64(t.bin) / 1e6,
+		})
+	}
+	return out
+}
+
+// RatesMbps returns just the Mbps values of SeriesUntil(end).
+func (t *Throughput) RatesMbps(end sim.Time) []float64 {
+	series := t.SeriesUntil(end)
+	out := make([]float64, len(series))
+	for i, p := range series {
+		out[i] = p.Mbps
+	}
+	return out
+}
+
+// Summary reports avg/min/max throughput over [0, end) — with the silent
+// prefix included, which is why the paper's minima are 0 Mbps.
+func (t *Throughput) Summary(end sim.Time) stats.Summary {
+	return stats.Summarize(t.RatesMbps(end))
+}
+
+// CI runs the paper's confidence analysis: batch-means 95% (or level)
+// interval over the bins in [0, end).
+func (t *Throughput) CI(end sim.Time, nbatches int, level float64) stats.CI {
+	return stats.BatchMeansCI(t.RatesMbps(end), nbatches, level)
+}
+
+// TotalBytes returns all bytes recorded.
+func (t *Throughput) TotalBytes() int {
+	sum := 0
+	for _, b := range t.bytes {
+		sum += b
+	}
+	return sum
+}

@@ -1,0 +1,246 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vanetsim/internal/sim"
+)
+
+func TestDelaySeriesBasics(t *testing.T) {
+	var s DelaySeries
+	s.Add(1, 0.1)
+	s.Add(2, 0.3)
+	s.Add(3, 0.2)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	sm := s.Summary()
+	if !almost(sm.Mean, 0.2) || sm.Min != 0.1 || sm.Max != 0.3 {
+		t.Fatalf("summary = %+v", sm)
+	}
+	first, ok := s.First()
+	if !ok || first != 0.1 {
+		t.Fatalf("First = %v, %v", first, ok)
+	}
+}
+
+func TestDelaySeriesFirstEmpty(t *testing.T) {
+	var s DelaySeries
+	if _, ok := s.First(); ok {
+		t.Fatal("empty series should report no first packet")
+	}
+}
+
+func TestSplitAt(t *testing.T) {
+	var s DelaySeries
+	for i := 1; i <= 10; i++ {
+		s.Add(i, sim.Time(i))
+	}
+	tr, st := s.SplitAt(4)
+	if len(tr) != 3 || len(st) != 7 {
+		t.Fatalf("split = %d/%d, want 3/7", len(tr), len(st))
+	}
+	if st[0].ID != 4 {
+		t.Fatalf("steady starts at ID %d", st[0].ID)
+	}
+	tr, st = s.SplitAt(100)
+	if len(tr) != 10 || st != nil {
+		t.Fatal("split beyond end should put everything in transient")
+	}
+}
+
+func TestTruncationIndexFindsWarmup(t *testing.T) {
+	// A clear warm-up ramp followed by flat steady state.
+	var s DelaySeries
+	id := 1
+	for i := 0; i < 50; i++ { // ramp 0 -> 2.5
+		s.Add(id, sim.Time(float64(i)*0.05))
+		id++
+	}
+	for i := 0; i < 200; i++ { // steady at 2.6
+		s.Add(id, 2.6)
+		id++
+	}
+	cut := s.TruncationIndex()
+	if cut < 30 || cut > 80 {
+		t.Fatalf("truncation at %d, want near the end of the 50-point ramp", cut)
+	}
+	_, level := s.SteadyState()
+	if math.Abs(level-2.6) > 0.05 {
+		t.Fatalf("steady level = %v, want ~2.6", level)
+	}
+}
+
+func TestTruncationIndexFlatSeries(t *testing.T) {
+	var s DelaySeries
+	for i := 1; i <= 100; i++ {
+		s.Add(i, 1.0)
+	}
+	if cut := s.TruncationIndex(); cut != 0 {
+		t.Fatalf("flat series truncated at %d, want 0", cut)
+	}
+}
+
+func TestTruncationIndexShortSeries(t *testing.T) {
+	var s DelaySeries
+	s.Add(1, 1)
+	if s.TruncationIndex() != 0 {
+		t.Fatal("tiny series must not truncate")
+	}
+	_, level := s.SteadyState()
+	if level != 1 {
+		t.Fatalf("steady level of single point = %v", level)
+	}
+}
+
+func TestSteadyStateEmpty(t *testing.T) {
+	var s DelaySeries
+	pts, level := s.SteadyState()
+	if pts != nil || level != 0 {
+		t.Fatal("empty series steady state should be nil, 0")
+	}
+}
+
+func TestThroughputBinning(t *testing.T) {
+	tp := NewThroughput(0.5)
+	tp.Add(0.1, 62500)  // 62500 B in bin 0 -> 1 Mbps over 0.5 s
+	tp.Add(0.6, 125000) // bin 1 -> 2 Mbps
+	tp.Add(0.7, 0)
+	series := tp.SeriesUntil(1.5)
+	if len(series) != 3 {
+		t.Fatalf("bins = %d, want 3", len(series))
+	}
+	if !almost(series[0].Mbps, 1.0) || !almost(series[1].Mbps, 2.0) || series[2].Mbps != 0 {
+		t.Fatalf("series = %+v", series)
+	}
+	if series[1].T != 0.5 {
+		t.Fatalf("bin 1 starts at %v", series[1].T)
+	}
+	if tp.TotalBytes() != 187500 {
+		t.Fatalf("total bytes = %d", tp.TotalBytes())
+	}
+}
+
+func TestThroughputSummaryIncludesSilentPrefix(t *testing.T) {
+	// The paper's min throughput is 0 because bins before communication
+	// starts are part of the record.
+	tp := NewThroughput(0.5)
+	tp.Add(5.0, 62500)
+	sm := tp.Summary(10)
+	if sm.Min != 0 {
+		t.Fatalf("min = %v, want 0 (silent prefix)", sm.Min)
+	}
+	if sm.N != 20 {
+		t.Fatalf("bins = %d, want 20", sm.N)
+	}
+	if sm.Max <= 0 {
+		t.Fatal("max must reflect the active bin")
+	}
+}
+
+func TestThroughputCI(t *testing.T) {
+	tp := NewThroughput(0.5)
+	// Steady 1 Mbps with slight alternation.
+	for i := 0; i < 100; i++ {
+		b := 62500
+		if i%2 == 0 {
+			b += 2500
+		}
+		tp.Add(sim.Time(float64(i))*0.5+0.1, b)
+	}
+	ci := tp.CI(50, 10, 0.95)
+	if ci.N != 10 {
+		t.Fatalf("CI batches = %d", ci.N)
+	}
+	if ci.Mean < 1.0 || ci.Mean > 1.1 {
+		t.Fatalf("CI mean = %v", ci.Mean)
+	}
+	if ci.RelPrecision() > 0.10 {
+		t.Fatalf("relative precision = %v, want tight for a steady series", ci.RelPrecision())
+	}
+}
+
+func TestThroughputPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero bin": func() { NewThroughput(0) },
+		"neg time": func() { NewThroughput(1).Add(-1, 10) },
+		"neg size": func() { NewThroughput(1).Add(1, -10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: total bytes are conserved by binning, and every bin rate is
+// non-negative and bounded by bytes·8/bin.
+func TestThroughputConservationProperty(t *testing.T) {
+	f := func(arrivals []uint16) bool {
+		tp := NewThroughput(0.5)
+		total := 0
+		for i, a := range arrivals {
+			at := sim.Time(float64(i%200)) * 0.05
+			tp.Add(at, int(a))
+			total += int(a)
+		}
+		if tp.TotalBytes() != total {
+			return false
+		}
+		for _, p := range tp.SeriesUntil(10) {
+			if p.Mbps < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delays recorded are returned verbatim and non-negative input
+// keeps a non-negative summary.
+func TestDelaySeriesProperty(t *testing.T) {
+	f := func(ds []uint16) bool {
+		var s DelaySeries
+		for i, d := range ds {
+			s.Add(i+1, sim.Time(d)/1000)
+		}
+		if s.Len() != len(ds) {
+			return false
+		}
+		sm := s.Summary()
+		return len(ds) == 0 || (sm.Min >= 0 && sm.Max >= sm.Min && sm.Mean >= sm.Min-1e-12 && sm.Mean <= sm.Max+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func BenchmarkThroughputAdd(b *testing.B) {
+	tp := NewThroughput(0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tp.Add(sim.Time(i%400)*0.5, 1000)
+	}
+}
+
+func BenchmarkDelaySeriesSteadyState(b *testing.B) {
+	var s DelaySeries
+	for i := 1; i <= 2000; i++ {
+		s.Add(i, sim.Time(i%7)+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SteadyState()
+	}
+}

@@ -1,0 +1,267 @@
+// Package mobility models vehicle motion for the EBL scenario: platoons of
+// vehicles that cruise at a fixed speed, brake, stop, and depart.
+//
+// Motion is represented as piecewise constant-acceleration segments that
+// are evaluated lazily — the simulator never ticks positions forward; a
+// radio asks a vehicle where it is at transmission time and gets the exact
+// kinematic answer. Phase changes (brake start, full stop, departure,
+// arrival) are discrete events published to subscribers; the EBL
+// application keys its communicate-only-while-braking-or-stopped rule off
+// them, as the paper's scenario requires.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vanetsim/internal/geom"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// Phase is a vehicle's motion state. The paper's EBL rule is that vehicles
+// communicate only while Braking or Stopped.
+type Phase uint8
+
+// Vehicle phases.
+const (
+	Stopped Phase = iota
+	Moving
+	Braking
+)
+
+var phaseNames = [...]string{"stopped", "moving", "braking"}
+
+// String returns the lowercase phase name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Communicating reports whether the EBL application transmits in this
+// phase (braking or stopped, per the paper's scenario definition).
+func (p Phase) Communicating() bool { return p == Braking || p == Stopped }
+
+// EventType classifies a motion event.
+type EventType uint8
+
+// Motion event types.
+const (
+	EventDeparted   EventType = iota // vehicle started moving
+	EventBrakeStart                  // vehicle began braking
+	EventStopped                     // vehicle came to a full stop
+)
+
+var eventNames = [...]string{"departed", "brake-start", "stopped"}
+
+// String returns the event name.
+func (e EventType) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// Event is a discrete motion event delivered to subscribers.
+type Event struct {
+	Type    EventType
+	At      sim.Time
+	Vehicle *Vehicle
+}
+
+// segment is one constant-acceleration piece of a trajectory, valid from
+// start until the next segment's start.
+type segment struct {
+	start sim.Time
+	pos   geom.Vec2
+	vel   geom.Vec2
+	acc   geom.Vec2
+}
+
+func (s segment) at(t sim.Time) geom.Vec2 {
+	dt := float64(t - s.start)
+	return s.pos.Add(s.vel.Scale(dt)).Add(s.acc.Scale(0.5 * dt * dt))
+}
+
+func (s segment) velAt(t sim.Time) geom.Vec2 {
+	dt := float64(t - s.start)
+	return s.vel.Add(s.acc.Scale(dt))
+}
+
+// Vehicle is a single mobile node. Create vehicles with NewVehicle; the
+// zero value is not usable.
+type Vehicle struct {
+	id    packet.NodeID
+	sched *sim.Scheduler
+	segs  []segment
+	phase Phase
+
+	pending   *sim.Timer // arrival/stop event for the current manoeuvre
+	listeners []func(Event)
+}
+
+// NewVehicle creates a stationary vehicle at pos.
+func NewVehicle(id packet.NodeID, sched *sim.Scheduler, pos geom.Vec2) *Vehicle {
+	v := &Vehicle{id: id, sched: sched, phase: Stopped}
+	v.segs = append(v.segs, segment{start: sched.Now(), pos: pos})
+	return v
+}
+
+// ID returns the vehicle's node ID.
+func (v *Vehicle) ID() packet.NodeID { return v.id }
+
+// Phase returns the current motion phase.
+func (v *Vehicle) Phase() Phase { return v.phase }
+
+// Subscribe registers fn to receive this vehicle's motion events.
+func (v *Vehicle) Subscribe(fn func(Event)) {
+	v.listeners = append(v.listeners, fn)
+}
+
+func (v *Vehicle) publish(t EventType) {
+	ev := Event{Type: t, At: v.sched.Now(), Vehicle: v}
+	for _, fn := range v.listeners {
+		fn(ev)
+	}
+}
+
+// Position returns the vehicle's position at the current simulated time.
+func (v *Vehicle) Position() geom.Vec2 { return v.PositionAt(v.sched.Now()) }
+
+// PositionAt returns the position at time t, which may be any time since
+// the vehicle was created (the full trajectory history is kept).
+func (v *Vehicle) PositionAt(t sim.Time) geom.Vec2 {
+	return v.segmentAt(t).at(t)
+}
+
+// Velocity returns the velocity vector at the current simulated time.
+func (v *Vehicle) Velocity() geom.Vec2 {
+	now := v.sched.Now()
+	return v.segmentAt(now).velAt(now)
+}
+
+// Speed returns the scalar speed in m/s at the current simulated time.
+func (v *Vehicle) Speed() float64 { return v.Velocity().Len() }
+
+func (v *Vehicle) segmentAt(t sim.Time) segment {
+	// Segments are appended in time order; find the last with start <= t.
+	i := sort.Search(len(v.segs), func(i int) bool { return v.segs[i].start > t })
+	if i == 0 {
+		return v.segs[0] // t precedes creation; clamp to initial state
+	}
+	return v.segs[i-1]
+}
+
+func (v *Vehicle) pushSegment(s segment) {
+	// Replace rather than append if a segment already starts at this time,
+	// so repeated commands in one instant don't accumulate zero-length
+	// segments.
+	if n := len(v.segs); n > 0 && v.segs[n-1].start == s.start {
+		v.segs[n-1] = s
+		return
+	}
+	v.segs = append(v.segs, s)
+}
+
+func (v *Vehicle) cancelPending() {
+	if v.pending != nil {
+		v.pending.Cancel()
+		v.pending = nil
+	}
+}
+
+// SetDest starts the vehicle moving in a straight line toward dest at the
+// given constant speed, stopping exactly there — the ns-2 "setdest"
+// primitive the paper's Tcl scenario uses. It publishes EventDeparted now
+// and EventStopped on arrival. A dest equal to the current position stops
+// the vehicle immediately. SetDest panics on non-positive speed.
+func (v *Vehicle) SetDest(dest geom.Vec2, speed float64) {
+	if speed <= 0 {
+		panic("mobility: SetDest speed must be positive")
+	}
+	now := v.sched.Now()
+	cur := v.PositionAt(now)
+	v.cancelPending()
+	dist := cur.Dist(dest)
+	if dist == 0 {
+		v.pushSegment(segment{start: now, pos: cur})
+		v.setPhase(Stopped)
+		return
+	}
+	dir := dest.Sub(cur).Unit()
+	v.pushSegment(segment{start: now, pos: cur, vel: dir.Scale(speed)})
+	v.setPhase(Moving)
+	travel := sim.Time(dist / speed)
+	v.pending = v.sched.Schedule(travel, func() {
+		v.pending = nil
+		v.pushSegment(segment{start: v.sched.Now(), pos: dest})
+		v.setPhase(Stopped)
+	})
+}
+
+// Brake decelerates the vehicle to a stop at decel m/s² along its current
+// direction of travel. It publishes EventBrakeStart now and EventStopped
+// when speed reaches zero. Braking while already stopped is a no-op.
+// Brake panics on non-positive decel.
+func (v *Vehicle) Brake(decel float64) {
+	if decel <= 0 {
+		panic("mobility: Brake decel must be positive")
+	}
+	now := v.sched.Now()
+	vel := v.segmentAt(now).velAt(now)
+	speed := vel.Len()
+	if speed == 0 {
+		return
+	}
+	v.cancelPending()
+	cur := v.PositionAt(now)
+	dir := vel.Unit()
+	v.pushSegment(segment{start: now, pos: cur, vel: vel, acc: dir.Scale(-decel)})
+	v.setPhase(Braking)
+	stopIn := sim.Time(speed / decel)
+	v.pending = v.sched.Schedule(stopIn, func() {
+		v.pending = nil
+		stopPos := cur.Add(dir.Scale(speed * speed / (2 * decel)))
+		v.pushSegment(segment{start: v.sched.Now(), pos: stopPos})
+		v.setPhase(Stopped)
+	})
+}
+
+// Halt stops the vehicle instantaneously at its current position
+// (publishing EventStopped if it was moving). It models the idealised
+// stop-at-intersection of the paper's scenario when no braking dynamics
+// are wanted.
+func (v *Vehicle) Halt() {
+	now := v.sched.Now()
+	cur := v.PositionAt(now)
+	v.cancelPending()
+	v.pushSegment(segment{start: now, pos: cur})
+	v.setPhase(Stopped)
+}
+
+// BrakingDistance returns the distance, in metres, a vehicle travelling at
+// speed m/s needs to stop at decel m/s²: v²/2a.
+func BrakingDistance(speed, decel float64) float64 {
+	if decel <= 0 {
+		return math.Inf(1)
+	}
+	return speed * speed / (2 * decel)
+}
+
+func (v *Vehicle) setPhase(p Phase) {
+	if v.phase == p {
+		return
+	}
+	v.phase = p
+	switch p {
+	case Moving:
+		v.publish(EventDeparted)
+	case Braking:
+		v.publish(EventBrakeStart)
+	case Stopped:
+		v.publish(EventStopped)
+	}
+}

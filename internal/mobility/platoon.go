@@ -1,0 +1,91 @@
+package mobility
+
+import (
+	"vanetsim/internal/geom"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// Platoon is an ordered group of vehicles — lead first — travelling in
+// convoy with fixed spacing, the paper's network reference model ("two
+// vehicle platoons with three vehicles each", 25 m apart).
+type Platoon struct {
+	vehicles []*Vehicle
+	heading  geom.Vec2 // unit vector of travel
+	spacing  float64
+}
+
+// NewPlatoon creates n stationary vehicles: the lead at leadPos and each
+// follower spacing metres behind it along -heading. IDs are assigned
+// consecutively starting at firstID. It panics if n < 1 or spacing < 0 or
+// heading is the zero vector.
+func NewPlatoon(sched *sim.Scheduler, firstID packet.NodeID, n int, leadPos geom.Vec2, heading geom.Vec2, spacing float64) *Platoon {
+	if n < 1 {
+		panic("mobility: platoon needs at least one vehicle")
+	}
+	if spacing < 0 {
+		panic("mobility: negative spacing")
+	}
+	dir := heading.Unit()
+	if (dir == geom.Vec2{}) {
+		panic("mobility: zero heading")
+	}
+	p := &Platoon{heading: dir, spacing: spacing}
+	for i := 0; i < n; i++ {
+		pos := leadPos.Sub(dir.Scale(float64(i) * spacing))
+		p.vehicles = append(p.vehicles, NewVehicle(firstID+packet.NodeID(i), sched, pos))
+	}
+	return p
+}
+
+// Lead returns the platoon's lead vehicle.
+func (p *Platoon) Lead() *Vehicle { return p.vehicles[0] }
+
+// Followers returns the vehicles behind the lead, in order.
+func (p *Platoon) Followers() []*Vehicle { return p.vehicles[1:] }
+
+// Vehicles returns all vehicles, lead first.
+func (p *Platoon) Vehicles() []*Vehicle { return p.vehicles }
+
+// Len returns the number of vehicles.
+func (p *Platoon) Len() int { return len(p.vehicles) }
+
+// Spacing returns the inter-vehicle spacing in metres.
+func (p *Platoon) Spacing() float64 { return p.spacing }
+
+// Heading returns the platoon's unit direction of travel.
+func (p *Platoon) Heading() geom.Vec2 { return p.heading }
+
+// SetDest moves the whole platoon: the lead heads to dest at speed and
+// each follower to the point spacing·i behind dest, preserving convoy
+// geometry. The platoon's heading is updated to the direction of travel.
+func (p *Platoon) SetDest(dest geom.Vec2, speed float64) {
+	lead := p.Lead()
+	dir := dest.Sub(lead.Position()).Unit()
+	if (dir != geom.Vec2{}) {
+		p.heading = dir
+	}
+	for i, v := range p.vehicles {
+		target := dest.Sub(p.heading.Scale(float64(i) * p.spacing))
+		v.SetDest(target, speed)
+	}
+}
+
+// Brake makes every vehicle brake to a stop at decel m/s². Vehicles behind
+// the lead brake simultaneously (idealised EBL response).
+func (p *Platoon) Brake(decel float64) {
+	for _, v := range p.vehicles {
+		v.Brake(decel)
+	}
+}
+
+// Halt stops every vehicle instantaneously.
+func (p *Platoon) Halt() {
+	for _, v := range p.vehicles {
+		v.Halt()
+	}
+}
+
+// Communicating reports whether the platoon's lead vehicle is in a phase
+// where the EBL application transmits (braking or stopped).
+func (p *Platoon) Communicating() bool { return p.Lead().Phase().Communicating() }

@@ -1,0 +1,131 @@
+// Package netlayer is the per-node network layer: it dispatches packets
+// between transport agents (by port), the routing agent, and the interface
+// queue + MAC below, mirroring ns-2's link-layer/routing-agent glue.
+package netlayer
+
+import (
+	"fmt"
+
+	"vanetsim/internal/mac"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/queue"
+)
+
+// DefaultTTL is the initial IP TTL for locally originated packets (ns-2
+// uses 32 for AODV scenarios).
+const DefaultTTL = 32
+
+// PortHandler is a transport endpoint bound to a local port.
+type PortHandler interface {
+	RecvFromNet(p *packet.Packet)
+}
+
+// Routing is the routing agent interface. AODV implements it; a static
+// routing table for tests can too. The agent owns every forwarding
+// decision: the network layer hands it all traffic.
+type Routing interface {
+	// HandleOutgoing routes a locally originated packet (IP.Src/Dst set).
+	// The agent either sets IP.NextHop and transmits it via Net.Send, or
+	// buffers it pending route discovery.
+	HandleOutgoing(p *packet.Packet)
+	// HandleIncoming processes a packet arriving from the MAC: protocol
+	// control, local delivery (via Net.DeliverLocally), or forwarding.
+	HandleIncoming(p *packet.Packet)
+	// MacTxDone relays MAC transmission fate; ok=false signals a broken
+	// link to p.Mac.Dst.
+	MacTxDone(p *packet.Packet, ok bool)
+}
+
+// Stats counts network-layer outcomes.
+type Stats struct {
+	Sent       int // locally originated packets handed to routing
+	Delivered  int // packets delivered to a local port
+	NoPort     int // local deliveries with no bound handler
+	IfqDropped int // packets rejected by the interface queue
+}
+
+// Net is one node's network layer. Wire it with Attach and SetRouting
+// before the simulation starts.
+type Net struct {
+	id    packet.NodeID
+	ifq   queue.Queue
+	mac   mac.MAC
+	route Routing
+	ports map[int]PortHandler
+
+	stats Stats
+}
+
+var _ mac.Upcall = (*Net)(nil)
+
+// New creates a network layer for node id.
+func New(id packet.NodeID) *Net {
+	return &Net{id: id, ports: make(map[int]PortHandler)}
+}
+
+// ID returns the owning node's ID.
+func (n *Net) ID() packet.NodeID { return n.id }
+
+// Stats returns the layer's counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// Attach wires the interface queue and MAC below this layer.
+func (n *Net) Attach(ifq queue.Queue, m mac.MAC) {
+	n.ifq = ifq
+	n.mac = m
+}
+
+// SetRouting installs the routing agent.
+func (n *Net) SetRouting(r Routing) { n.route = r }
+
+// BindPort registers a transport handler on a local port. Binding an
+// already-bound port panics: silent replacement would orphan an agent.
+func (n *Net) BindPort(port int, h PortHandler) {
+	if _, dup := n.ports[port]; dup {
+		panic(fmt.Sprintf("netlayer: node %v port %d already bound", n.id, port))
+	}
+	n.ports[port] = h
+}
+
+// SendFrom originates a packet from a local transport agent. The IP
+// destination and ports must be set; source and TTL are filled here.
+func (n *Net) SendFrom(p *packet.Packet) {
+	p.IP.Src = n.id
+	if p.IP.TTL == 0 {
+		p.IP.TTL = DefaultTTL
+	}
+	n.stats.Sent++
+	n.route.HandleOutgoing(p)
+}
+
+// Send transmits a routed packet (IP.NextHop set) through the interface
+// queue and MAC. Routing agents call this for both forwarded data and
+// their own control packets.
+func (n *Net) Send(p *packet.Packet) {
+	if p.IP.NextHop == packet.None {
+		panic(fmt.Sprintf("netlayer: node %v sending packet with no next hop: %v", n.id, p))
+	}
+	if !n.ifq.Enqueue(p) {
+		n.stats.IfqDropped++
+		return
+	}
+	n.mac.Poke()
+}
+
+// DeliverLocally dispatches a packet addressed to this node up to the
+// transport handler bound to its destination port.
+func (n *Net) DeliverLocally(p *packet.Packet) {
+	h, ok := n.ports[p.IP.DstPort]
+	if !ok {
+		n.stats.NoPort++
+		return
+	}
+	n.stats.Delivered++
+	h.RecvFromNet(p)
+}
+
+// RecvFromMac implements mac.Upcall.
+func (n *Net) RecvFromMac(p *packet.Packet) { n.route.HandleIncoming(p) }
+
+// MacTxDone implements mac.Upcall.
+func (n *Net) MacTxDone(p *packet.Packet, ok bool) { n.route.MacTxDone(p, ok) }

@@ -1,0 +1,189 @@
+// Package packet defines the unit of data exchanged between all layers of
+// the simulated network stack, in the style of ns-2: one flat structure
+// carrying every layer's header, passed by pointer down the sending stack
+// and cloned at the broadcast boundary so that independent receivers never
+// alias each other's mutable fields.
+package packet
+
+import (
+	"fmt"
+
+	"vanetsim/internal/sim"
+)
+
+// NodeID identifies a node (vehicle) in the scenario. IDs are small dense
+// integers assigned by the scenario builder; they double as IP and MAC
+// addresses, as in ns-2's flat addressing.
+type NodeID int32
+
+// Broadcast is the all-nodes destination address.
+const Broadcast NodeID = -1
+
+// None marks an unset node field (e.g. next hop before routing).
+const None NodeID = -2
+
+// String formats the ID, with the two sentinels named.
+func (n NodeID) String() string {
+	switch n {
+	case Broadcast:
+		return "bcast"
+	case None:
+		return "none"
+	default:
+		return fmt.Sprintf("%d", int32(n))
+	}
+}
+
+// Type classifies a packet by the protocol that originated it, mirroring
+// ns-2's packet_t. The type drives queue priority and trace output.
+type Type uint8
+
+// Packet types.
+const (
+	TypeTCP    Type = iota // TCP data segment
+	TypeAck                // TCP cumulative acknowledgement
+	TypeCBR                // raw CBR datagram over UDP
+	TypeAODV               // AODV control packet (RREQ/RREP/RERR/HELLO)
+	TypeMACAck             // 802.11 MAC-level acknowledgement frame
+	TypeEBL                // extended-brake-light status message (over UDP)
+)
+
+var typeNames = [...]string{"tcp", "ack", "cbr", "AODV", "mac-ack", "ebl"}
+
+// String returns the ns-2-style lowercase type name.
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// IsControl reports whether the packet is routing-protocol control traffic,
+// which PriQueue services ahead of data.
+func (t Type) IsControl() bool { return t == TypeAODV }
+
+// MacSubtype distinguishes frame roles at the MAC layer.
+type MacSubtype uint8
+
+// MAC frame subtypes.
+const (
+	MacData MacSubtype = iota
+	MacAck
+	MacRTS
+	MacCTS
+	// MacJam marks deliberate interference from a jammer node; receivers
+	// never deliver it upward, but it occupies the medium and corrupts
+	// overlapping receptions like any other energy.
+	MacJam
+)
+
+// MacHdr is the link-layer header.
+type MacHdr struct {
+	Src, Dst NodeID
+	Subtype  MacSubtype
+	// Duration is the NAV value: time the medium will remain busy after
+	// this frame, used for 802.11 virtual carrier sense.
+	Duration sim.Time
+	// Retries counts MAC-level retransmissions of this frame.
+	Retries int
+}
+
+// IPHdr is the network-layer header.
+type IPHdr struct {
+	Src, Dst NodeID
+	SrcPort  int
+	DstPort  int
+	TTL      int
+	// NextHop is the link-layer destination chosen by routing; Broadcast
+	// for flooded packets.
+	NextHop NodeID
+}
+
+// TCPHdr is the transport header for TypeTCP and TypeAck packets. Sequence
+// numbers count segments (ns-2 convention), not bytes.
+type TCPHdr struct {
+	Seq int // segment sequence number (data) or highest in-order seq (ack)
+	// Echo carries the timestamp of the data segment being acknowledged,
+	// for RTT sampling (only meaningful on acks of first transmissions).
+	Echo sim.Time
+	// Retransmit marks a retransmitted data segment, so the receiver's
+	// delay bookkeeping and Karn's algorithm can ignore it.
+	Retransmit bool
+}
+
+// Payload is protocol-specific packet content (AODV messages, EBL brake
+// status). Payloads must be clonable because broadcast delivery hands each
+// receiver its own copy of the packet.
+type Payload interface {
+	ClonePayload() Payload
+}
+
+// Packet is the simulator's protocol data unit.
+type Packet struct {
+	UID  uint64 // unique per scenario, assigned by Factory
+	Type Type
+	// Size is the packet length in bytes at the network layer (payload +
+	// transport + IP headers). The MAC adds its own framing overhead when
+	// computing transmission duration.
+	Size int
+
+	// CreatedAt is when the originating application or agent built the
+	// packet; SentAt is when the transport first put it on the wire. The
+	// paper's one-way delay is receive time minus SentAt.
+	CreatedAt sim.Time
+	SentAt    sim.Time
+
+	Mac MacHdr
+	IP  IPHdr
+	TCP *TCPHdr
+
+	// Payload carries protocol-specific content for AODV and EBL packets.
+	Payload Payload
+
+	// NumForwards counts network-layer hops taken so far.
+	NumForwards int
+}
+
+// Clone returns a deep copy of the packet. Header structs are copied by
+// value; TCP header and payload are duplicated so a forwarder or broadcast
+// receiver can mutate its copy freely.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.TCP != nil {
+		tcp := *p.TCP
+		q.TCP = &tcp
+	}
+	if p.Payload != nil {
+		q.Payload = p.Payload.ClonePayload()
+	}
+	return &q
+}
+
+// String summarises the packet for traces and test failures.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{uid=%d %s %dB %v->%v}", p.UID, p.Type, p.Size, p.IP.Src, p.IP.Dst)
+}
+
+// Factory allocates packet UIDs for one scenario. It is a struct rather
+// than a package-level counter so that concurrently running scenarios (and
+// tests) never share state.
+type Factory struct {
+	next uint64
+}
+
+// New returns a fresh packet of the given type and size with a unique UID
+// and the creation timestamp filled in.
+func (f *Factory) New(t Type, size int, at sim.Time) *Packet {
+	f.next++
+	return &Packet{
+		UID:       f.next,
+		Type:      t,
+		Size:      size,
+		CreatedAt: at,
+		IP:        IPHdr{Src: None, Dst: None, NextHop: None},
+		Mac:       MacHdr{Src: None, Dst: None},
+	}
+}
+
+// Allocated returns how many packets this factory has created.
+func (f *Factory) Allocated() uint64 { return f.next }

@@ -1,0 +1,140 @@
+package packet
+
+import (
+	"testing"
+)
+
+type fakePayload struct {
+	val int
+}
+
+func (f *fakePayload) ClonePayload() Payload {
+	c := *f
+	return &c
+}
+
+func TestFactoryUIDsUnique(t *testing.T) {
+	var f Factory
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		p := f.New(TypeTCP, 1000, 0)
+		if seen[p.UID] {
+			t.Fatalf("duplicate UID %d", p.UID)
+		}
+		seen[p.UID] = true
+	}
+	if f.Allocated() != 1000 {
+		t.Fatalf("Allocated = %d, want 1000", f.Allocated())
+	}
+}
+
+func TestFactoriesIndependent(t *testing.T) {
+	var a, b Factory
+	p1 := a.New(TypeTCP, 100, 0)
+	p2 := b.New(TypeTCP, 100, 0)
+	if p1.UID != p2.UID {
+		t.Fatalf("independent factories should both start at 1: %d vs %d", p1.UID, p2.UID)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	var f Factory
+	p := f.New(TypeCBR, 512, 3.5)
+	if p.Size != 512 || p.Type != TypeCBR || p.CreatedAt != 3.5 {
+		t.Fatalf("unexpected packet fields: %+v", p)
+	}
+	if p.IP.Src != None || p.IP.Dst != None || p.IP.NextHop != None {
+		t.Fatalf("IP header not initialised to None: %+v", p.IP)
+	}
+	if p.Mac.Src != None || p.Mac.Dst != None {
+		t.Fatalf("MAC header not initialised to None: %+v", p.Mac)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	var f Factory
+	p := f.New(TypeTCP, 1000, 1)
+	p.TCP = &TCPHdr{Seq: 5}
+	p.Payload = &fakePayload{val: 7}
+	p.IP.TTL = 30
+
+	q := p.Clone()
+	q.TCP.Seq = 99
+	q.Payload.(*fakePayload).val = 99
+	q.IP.TTL = 1
+	q.NumForwards = 3
+
+	if p.TCP.Seq != 5 {
+		t.Fatalf("clone mutated original TCP header: seq=%d", p.TCP.Seq)
+	}
+	if p.Payload.(*fakePayload).val != 7 {
+		t.Fatal("clone mutated original payload")
+	}
+	if p.IP.TTL != 30 || p.NumForwards != 0 {
+		t.Fatal("clone mutated original IP header")
+	}
+	if q.UID != p.UID {
+		t.Fatal("clone must preserve UID (same logical packet)")
+	}
+}
+
+func TestCloneNilSubfields(t *testing.T) {
+	var f Factory
+	p := f.New(TypeAODV, 48, 0)
+	q := p.Clone()
+	if q.TCP != nil || q.Payload != nil {
+		t.Fatal("clone invented sub-headers")
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	cases := map[NodeID]string{
+		Broadcast: "bcast",
+		None:      "none",
+		7:         "7",
+	}
+	for id, want := range cases {
+		if got := id.String(); got != want {
+			t.Fatalf("NodeID(%d).String() = %q, want %q", int32(id), got, want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypeTCP:  "tcp",
+		TypeAck:  "ack",
+		TypeCBR:  "cbr",
+		TypeAODV: "AODV",
+		TypeEBL:  "ebl",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Fatalf("Type.String() = %q, want %q", got, want)
+		}
+	}
+	if got := Type(200).String(); got != "type(200)" {
+		t.Fatalf("unknown type string = %q", got)
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	if !TypeAODV.IsControl() {
+		t.Fatal("AODV must be control traffic")
+	}
+	for _, ty := range []Type{TypeTCP, TypeAck, TypeCBR, TypeEBL} {
+		if ty.IsControl() {
+			t.Fatalf("%v must not be control traffic", ty)
+		}
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	var f Factory
+	p := f.New(TypeTCP, 1040, 0)
+	p.IP.Src, p.IP.Dst = 1, 2
+	want := "pkt{uid=1 tcp 1040B 1->2}"
+	if got := p.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

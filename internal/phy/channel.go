@@ -1,0 +1,85 @@
+package phy
+
+import (
+	"vanetsim/internal/geom"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// Channel is the shared wireless medium. Every attached radio's
+// transmission is offered to every other radio whose received power
+// clears its carrier-sense threshold, after the speed-of-light delay.
+type Channel struct {
+	sched  *sim.Scheduler
+	prop   Propagation
+	radios []*Radio
+}
+
+// NewChannel creates a channel using the given propagation model.
+func NewChannel(sched *sim.Scheduler, prop Propagation) *Channel {
+	return &Channel{sched: sched, prop: prop}
+}
+
+// Attach registers a radio on the medium.
+func (c *Channel) Attach(r *Radio) {
+	r.ch = c
+	c.radios = append(c.radios, r)
+}
+
+// Radios returns all attached radios.
+func (c *Channel) Radios() []*Radio { return c.radios }
+
+// Propagation returns the channel's propagation model.
+func (c *Channel) Propagation() Propagation { return c.prop }
+
+// broadcast delivers a transmission from src to every other radio above
+// its carrier-sense threshold that is tuned to the same frequency channel
+// when the first bit arrives. Each receiver gets its own clone of the
+// packet so that forwarding never aliases.
+func (c *Channel) broadcast(src *Radio, p *packet.Packet, duration sim.Time) {
+	srcPos := src.pos()
+	txFreq := src.Freq()
+	for _, dst := range c.radios {
+		if dst == src {
+			continue
+		}
+		pr := c.prop.RxPower(src.Params.TxPowerW, srcPos, dst.pos())
+		if pr < dst.Params.CSThreshW {
+			continue // below the noise floor: invisible
+		}
+		dst := dst
+		cp := p.Clone()
+		delay := sim.Time(srcPos.Dist(dst.pos()) / SpeedOfLight)
+		c.sched.Schedule(delay, func() {
+			if dst.Freq() != txFreq {
+				return // tuned elsewhere: no energy seen
+			}
+			dst.frameArrives(cp, pr, duration)
+		})
+	}
+}
+
+// FreqFn reports a radio's current frequency channel. It is sampled at
+// transmit time (sender) and first-bit arrival time (receiver), which is
+// exact for slot-synchronised hopping schemes.
+type FreqFn func() int
+
+// PositionFn reports a node's current position; radios call it at
+// transmission and reception time so moving vehicles attenuate naturally.
+type PositionFn func() geom.Vec2
+
+// MAC is the upward interface a radio delivers into. The 802.11 MAC uses
+// all three callbacks; the TDMA MAC ignores the carrier-sense pair.
+type MAC interface {
+	// RecvFromPhy delivers a frame whose last bit has arrived. corrupted
+	// is true when the frame overlapped another transmission and lost
+	// (collision without capture).
+	RecvFromPhy(p *packet.Packet, corrupted bool)
+	// ChannelBusy signals the medium transitioned idle -> busy as seen by
+	// this radio (physical carrier sense).
+	ChannelBusy()
+	// ChannelIdle signals the medium transitioned busy -> idle. Idle
+	// notifications can be delivered redundantly when several busy periods
+	// end at the same instant; implementations must be idempotent.
+	ChannelIdle()
+}

@@ -1,0 +1,271 @@
+package phy
+
+import (
+	"fmt"
+
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// State is the radio transceiver state.
+type State uint8
+
+// Radio states.
+const (
+	Idle State = iota
+	Receiving
+	Transmitting
+)
+
+var stateNames = [...]string{"idle", "rx", "tx"}
+
+// String returns the state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// reception tracks the frame the radio is currently locked onto.
+type reception struct {
+	p         *packet.Packet
+	power     float64
+	end       sim.Time
+	corrupted bool
+	// maxInterfW is the worst aggregate interference seen during the
+	// reception (SINR mode only).
+	maxInterfW float64
+}
+
+// Stats counts radio-level outcomes for diagnostics and tests.
+type Stats struct {
+	TxFrames      int // frames transmitted
+	RxOK          int // frames delivered intact
+	RxCollided    int // frames delivered corrupted (collision, no capture)
+	RxCaptured    int // interferers suppressed by capture
+	RxWhileTx     int // arrivals ignored because the radio was transmitting
+	RxBelowThresh int // arrivals sensed but too weak to decode
+}
+
+// Radio is one node's transceiver. It is half-duplex: transmitting blinds
+// it to arrivals, and arrivals overlapping in time collide unless one
+// exceeds the other by the capture ratio.
+type Radio struct {
+	// Params holds the RF constants (thresholds, power).
+	Params RadioParams
+
+	id    packet.NodeID
+	sched *sim.Scheduler
+	ch    *Channel
+	pos   PositionFn
+	mac   MAC
+	freq  FreqFn
+
+	state     State
+	rx        *reception
+	busyUntil sim.Time
+	idleTimer *sim.Timer
+
+	// interfW is the aggregate power of all arrivals not locked onto,
+	// maintained only in SINR mode.
+	interfW float64
+
+	stats Stats
+}
+
+// NewRadio creates a radio for node id at the position reported by pos.
+// Attach it to a Channel and set its MAC with SetMAC before use.
+func NewRadio(id packet.NodeID, sched *sim.Scheduler, pos PositionFn, params RadioParams) *Radio {
+	if pos == nil {
+		panic("phy: nil position function")
+	}
+	return &Radio{id: id, sched: sched, pos: pos, Params: params}
+}
+
+// ID returns the owning node's ID.
+func (r *Radio) ID() packet.NodeID { return r.id }
+
+// SetMAC wires the MAC layer that receives frames and carrier-sense
+// transitions.
+func (r *Radio) SetMAC(m MAC) { r.mac = m }
+
+// SetFreqFn installs a frequency-channel provider, sampled at transmit
+// and arrival time. Frequency-hopping MACs install a hop-sequence
+// function; the default (nil) keeps the radio on channel 0.
+func (r *Radio) SetFreqFn(fn FreqFn) { r.freq = fn }
+
+// Freq returns the radio's current frequency channel.
+func (r *Radio) Freq() int {
+	if r.freq == nil {
+		return 0
+	}
+	return r.freq()
+}
+
+// State returns the transceiver state.
+func (r *Radio) State() State { return r.state }
+
+// Stats returns the radio's counters.
+func (r *Radio) Stats() Stats { return r.stats }
+
+// CarrierBusy reports whether the medium appears busy to this radio: it is
+// transmitting, locked onto a frame, or sensing energy above the
+// carrier-sense threshold.
+func (r *Radio) CarrierBusy() bool {
+	return r.state != Idle || r.rx != nil || r.busyUntil > r.sched.Now()
+}
+
+// Transmit puts a frame on the air for the given duration. The caller (the
+// MAC) is responsible for medium access; the radio enforces only physical
+// constraints: transmitting while already transmitting is a programming
+// error (panic), and transmitting while receiving destroys the reception
+// (half-duplex).
+func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) {
+	if r.state == Transmitting {
+		panic(fmt.Sprintf("phy: radio %v transmit while transmitting", r.id))
+	}
+	if duration <= 0 {
+		panic("phy: non-positive transmit duration")
+	}
+	if r.rx != nil {
+		// Half-duplex: the in-progress reception is lost silently.
+		r.rx = nil
+	}
+	r.state = Transmitting
+	r.stats.TxFrames++
+	r.extendBusy(r.sched.Now() + duration)
+	r.ch.broadcast(r, p, duration)
+	r.sched.Schedule(duration, func() {
+		r.state = Idle
+		r.maybeIdle()
+	})
+}
+
+// frameArrives is called by the channel when the first bit of a frame
+// reaches this radio (power already above CSThreshW).
+func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time) {
+	now := r.sched.Now()
+	end := now + duration
+	wasBusy := r.CarrierBusy()
+	r.extendBusy(end)
+	if !wasBusy && r.mac != nil {
+		r.mac.ChannelBusy()
+	}
+
+	if r.Params.SINRMode {
+		r.arriveSINR(p, power, duration, end)
+		return
+	}
+
+	switch {
+	case r.state == Transmitting:
+		// Blinded by our own transmission.
+		r.stats.RxWhileTx++
+	case power < r.Params.RxThreshW:
+		// Sensed but undecodable: pure noise. If we were locked onto a
+		// frame, noise this weak does not corrupt it only when capture
+		// holds.
+		r.stats.RxBelowThresh++
+		if r.rx != nil && r.rx.power < power*r.Params.CaptureRatio {
+			r.rx.corrupted = true
+		}
+	case r.rx == nil:
+		// Lock onto the frame; deliver when the last bit arrives.
+		rec := &reception{p: p, power: power, end: end}
+		r.rx = rec
+		r.state = Receiving
+		r.sched.Schedule(duration, func() { r.finishReception(rec) })
+	default:
+		// Overlap with the frame we are locked onto.
+		if r.rx.power >= power*r.Params.CaptureRatio {
+			// Capture: the locked frame is strong enough to survive.
+			r.stats.RxCaptured++
+		} else {
+			// Collision: the locked frame is corrupted, and the new frame
+			// cannot be acquired mid-overlap either.
+			r.rx.corrupted = true
+		}
+	}
+}
+
+// arriveSINR handles an arrival under the aggregate-interference model:
+// decodable frames lock an idle receiver; everything else accumulates
+// into the interference level, and the verdict falls at reception end.
+func (r *Radio) arriveSINR(p *packet.Packet, power float64, duration sim.Time, end sim.Time) {
+	if r.state != Transmitting && r.rx == nil && power >= r.Params.RxThreshW {
+		rec := &reception{p: p, power: power, end: end, maxInterfW: r.interfW}
+		r.rx = rec
+		r.state = Receiving
+		r.sched.Schedule(duration, func() { r.finishReception(rec) })
+		return
+	}
+	switch {
+	case r.state == Transmitting:
+		r.stats.RxWhileTx++
+	case power < r.Params.RxThreshW:
+		r.stats.RxBelowThresh++
+	}
+	r.addInterference(power, duration)
+}
+
+// addInterference raises the aggregate interference level for the
+// arrival's duration.
+func (r *Radio) addInterference(power float64, duration sim.Time) {
+	r.interfW += power
+	if r.rx != nil && r.interfW > r.rx.maxInterfW {
+		r.rx.maxInterfW = r.interfW
+	}
+	r.sched.Schedule(duration, func() {
+		r.interfW -= power
+		if r.interfW < 0 {
+			r.interfW = 0 // floating-point drift floor
+		}
+	})
+}
+
+// finishReception delivers the locked frame when its last bit arrives.
+func (r *Radio) finishReception(rec *reception) {
+	if r.rx != rec {
+		return // reception was aborted (e.g. we transmitted over it)
+	}
+	r.rx = nil
+	if r.state == Receiving {
+		r.state = Idle
+	}
+	if r.Params.SINRMode && rec.power < r.Params.CaptureRatio*(r.Params.NoiseFloorW+rec.maxInterfW) {
+		rec.corrupted = true
+	}
+	if rec.corrupted {
+		r.stats.RxCollided++
+	} else {
+		r.stats.RxOK++
+	}
+	if r.mac != nil {
+		r.mac.RecvFromPhy(rec.p, rec.corrupted)
+	}
+	r.maybeIdle()
+}
+
+// extendBusy pushes the carrier-busy horizon out to at least t and
+// arranges an idle notification when it expires.
+func (r *Radio) extendBusy(t sim.Time) {
+	if t <= r.busyUntil {
+		return
+	}
+	r.busyUntil = t
+	if r.idleTimer != nil {
+		r.idleTimer.Cancel()
+	}
+	r.idleTimer = r.sched.At(t, func() {
+		r.idleTimer = nil
+		r.maybeIdle()
+	})
+}
+
+// maybeIdle notifies the MAC if the medium has gone fully quiet.
+func (r *Radio) maybeIdle() {
+	if !r.CarrierBusy() && r.mac != nil {
+		r.mac.ChannelIdle()
+	}
+}

@@ -1,0 +1,205 @@
+// Package queue implements the interface queues that sit between the
+// network layer and the MAC, modelled on ns-2's Queue/DropTail and
+// Queue/DropTail/PriQueue — the paper's fixed "ifq" parameter.
+//
+// The drop-tail queue is load-bearing for the paper's results: the
+// transient/steady-state shape of the one-way delay curves (Figs. 5–14) is
+// the queue filling to capacity and then holding every later packet for
+// queue-length/service-rate seconds.
+package queue
+
+import "vanetsim/internal/packet"
+
+// DropReason explains why a queue rejected a packet, for traces.
+type DropReason string
+
+// Drop reasons.
+const (
+	DropFull    DropReason = "IFQ" // arriving packet found the queue full
+	DropEvicted DropReason = "IFQ-EVICT"
+	DropEarly   DropReason = "IFQ-RED" // probabilistic early drop
+)
+
+// DropFn observes dropped packets (for tracing and statistics). A nil DropFn
+// is valid and means "discard silently".
+type DropFn func(p *packet.Packet, reason DropReason)
+
+// Queue is a bounded interface queue. Implementations are not safe for
+// concurrent use; the simulator is single-threaded.
+type Queue interface {
+	// Enqueue offers a packet. It returns false if the packet was dropped
+	// (the queue was full and the packet did not displace anything).
+	Enqueue(p *packet.Packet) bool
+	// Dequeue removes and returns the next packet to transmit, or nil if
+	// the queue is empty.
+	Dequeue() *packet.Packet
+	// Peek returns the next packet without removing it, or nil.
+	Peek() *packet.Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Cap returns the capacity in packets.
+	Cap() int
+	// Drops returns how many packets this queue has dropped so far.
+	Drops() int
+}
+
+// DropTail is a FIFO queue that drops the arriving packet when full,
+// matching ns-2's Queue/DropTail.
+type DropTail struct {
+	items  []*packet.Packet
+	cap    int
+	drops  int
+	onDrop DropFn
+}
+
+var _ Queue = (*DropTail)(nil)
+
+// NewDropTail returns a drop-tail queue holding at most capacity packets.
+// ns-2's default ifq length, used by the paper, is 50.
+func NewDropTail(capacity int, onDrop DropFn) *DropTail {
+	if capacity <= 0 {
+		panic("queue: capacity must be positive")
+	}
+	return &DropTail{items: make([]*packet.Packet, 0, capacity), cap: capacity, onDrop: onDrop}
+}
+
+// Enqueue implements Queue.
+func (q *DropTail) Enqueue(p *packet.Packet) bool {
+	if len(q.items) >= q.cap {
+		q.drop(p, DropFull)
+		return false
+	}
+	q.items = append(q.items, p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue() *packet.Packet {
+	if len(q.items) == 0 {
+		return nil
+	}
+	p := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	if len(q.items) == 0 {
+		// Reset the backing array so the slice doesn't crawl through memory.
+		q.items = make([]*packet.Packet, 0, q.cap)
+	}
+	return p
+}
+
+// Peek implements Queue.
+func (q *DropTail) Peek() *packet.Packet {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// Len implements Queue.
+func (q *DropTail) Len() int { return len(q.items) }
+
+// Cap implements Queue.
+func (q *DropTail) Cap() int { return q.cap }
+
+// Drops implements Queue.
+func (q *DropTail) Drops() int { return q.drops }
+
+func (q *DropTail) drop(p *packet.Packet, r DropReason) {
+	q.drops++
+	if q.onDrop != nil {
+		q.onDrop(p, r)
+	}
+}
+
+// PriQueue is a drop-tail queue that services routing-protocol control
+// packets ahead of data, matching ns-2's Queue/DropTail/PriQueue (the
+// "-ifqtype" the paper's Tcl snippet configures). When a control packet
+// arrives at a full queue it evicts the most recently queued data packet;
+// a data packet arriving at a full queue is dropped.
+type PriQueue struct {
+	control []*packet.Packet
+	data    []*packet.Packet
+	cap     int
+	drops   int
+	onDrop  DropFn
+}
+
+var _ Queue = (*PriQueue)(nil)
+
+// NewPriQueue returns a priority interface queue with the given total
+// capacity.
+func NewPriQueue(capacity int, onDrop DropFn) *PriQueue {
+	if capacity <= 0 {
+		panic("queue: capacity must be positive")
+	}
+	return &PriQueue{cap: capacity, onDrop: onDrop}
+}
+
+// Enqueue implements Queue.
+func (q *PriQueue) Enqueue(p *packet.Packet) bool {
+	if p.Type.IsControl() {
+		if q.Len() >= q.cap {
+			if len(q.data) == 0 {
+				q.drop(p, DropFull)
+				return false
+			}
+			last := q.data[len(q.data)-1]
+			q.data[len(q.data)-1] = nil
+			q.data = q.data[:len(q.data)-1]
+			q.drop(last, DropEvicted)
+		}
+		q.control = append(q.control, p)
+		return true
+	}
+	if q.Len() >= q.cap {
+		q.drop(p, DropFull)
+		return false
+	}
+	q.data = append(q.data, p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *PriQueue) Dequeue() *packet.Packet {
+	if len(q.control) > 0 {
+		p := q.control[0]
+		q.control[0] = nil
+		q.control = q.control[1:]
+		return p
+	}
+	if len(q.data) > 0 {
+		p := q.data[0]
+		q.data[0] = nil
+		q.data = q.data[1:]
+		return p
+	}
+	return nil
+}
+
+// Peek implements Queue.
+func (q *PriQueue) Peek() *packet.Packet {
+	if len(q.control) > 0 {
+		return q.control[0]
+	}
+	if len(q.data) > 0 {
+		return q.data[0]
+	}
+	return nil
+}
+
+// Len implements Queue.
+func (q *PriQueue) Len() int { return len(q.control) + len(q.data) }
+
+// Cap implements Queue.
+func (q *PriQueue) Cap() int { return q.cap }
+
+// Drops implements Queue.
+func (q *PriQueue) Drops() int { return q.drops }
+
+func (q *PriQueue) drop(p *packet.Packet, r DropReason) {
+	q.drops++
+	if q.onDrop != nil {
+		q.onDrop(p, r)
+	}
+}

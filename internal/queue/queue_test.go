@@ -1,0 +1,261 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vanetsim/internal/packet"
+)
+
+func mkData(f *packet.Factory) *packet.Packet { return f.New(packet.TypeTCP, 1000, 0) }
+func mkCtrl(f *packet.Factory) *packet.Packet { return f.New(packet.TypeAODV, 48, 0) }
+
+func TestDropTailFIFO(t *testing.T) {
+	var f packet.Factory
+	q := NewDropTail(10, nil)
+	var uids []uint64
+	for i := 0; i < 5; i++ {
+		p := mkData(&f)
+		uids = append(uids, p.UID)
+		if !q.Enqueue(p) {
+			t.Fatal("enqueue under capacity failed")
+		}
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		p := q.Dequeue()
+		if p.UID != uids[i] {
+			t.Fatalf("FIFO violated at %d: got %d want %d", i, p.UID, uids[i])
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Fatal("Dequeue from empty should be nil")
+	}
+}
+
+func TestDropTailDropsArrivingWhenFull(t *testing.T) {
+	var f packet.Factory
+	var dropped []*packet.Packet
+	q := NewDropTail(2, func(p *packet.Packet, r DropReason) {
+		if r != DropFull {
+			t.Fatalf("reason = %v, want %v", r, DropFull)
+		}
+		dropped = append(dropped, p)
+	})
+	a, b, c := mkData(&f), mkData(&f), mkData(&f)
+	q.Enqueue(a)
+	q.Enqueue(b)
+	if q.Enqueue(c) {
+		t.Fatal("enqueue at capacity should fail")
+	}
+	if q.Drops() != 1 || len(dropped) != 1 || dropped[0] != c {
+		t.Fatalf("the arriving packet must be the one dropped; drops=%d", q.Drops())
+	}
+	// The queued packets are intact.
+	if q.Dequeue() != a || q.Dequeue() != b {
+		t.Fatal("drop disturbed queued packets")
+	}
+}
+
+func TestDropTailPeek(t *testing.T) {
+	var f packet.Factory
+	q := NewDropTail(4, nil)
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty should be nil")
+	}
+	p := mkData(&f)
+	q.Enqueue(p)
+	if q.Peek() != p {
+		t.Fatal("Peek should return head")
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek must not remove")
+	}
+}
+
+func TestDropTailCapAndPanic(t *testing.T) {
+	q := NewDropTail(7, nil)
+	if q.Cap() != 7 {
+		t.Fatalf("Cap = %d", q.Cap())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity should panic")
+		}
+	}()
+	NewDropTail(0, nil)
+}
+
+func TestPriQueueControlFirst(t *testing.T) {
+	var f packet.Factory
+	q := NewPriQueue(10, nil)
+	d1, c1, d2, c2 := mkData(&f), mkCtrl(&f), mkData(&f), mkCtrl(&f)
+	for _, p := range []*packet.Packet{d1, c1, d2, c2} {
+		q.Enqueue(p)
+	}
+	want := []*packet.Packet{c1, c2, d1, d2}
+	for i, w := range want {
+		if got := q.Dequeue(); got != w {
+			t.Fatalf("dequeue %d: got uid %d, want uid %d", i, got.UID, w.UID)
+		}
+	}
+}
+
+func TestPriQueueControlEvictsData(t *testing.T) {
+	var f packet.Factory
+	var evicted []*packet.Packet
+	q := NewPriQueue(2, func(p *packet.Packet, r DropReason) {
+		if r == DropEvicted {
+			evicted = append(evicted, p)
+		}
+	})
+	d1, d2 := mkData(&f), mkData(&f)
+	q.Enqueue(d1)
+	q.Enqueue(d2)
+	c := mkCtrl(&f)
+	if !q.Enqueue(c) {
+		t.Fatal("control packet should displace data when full")
+	}
+	if len(evicted) != 1 || evicted[0] != d2 {
+		t.Fatal("most recently queued data packet should be evicted")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	if q.Peek() != c {
+		t.Fatal("control packet should be at head")
+	}
+}
+
+func TestPriQueueDataDroppedWhenFull(t *testing.T) {
+	var f packet.Factory
+	q := NewPriQueue(1, nil)
+	q.Enqueue(mkCtrl(&f))
+	if q.Enqueue(mkData(&f)) {
+		t.Fatal("data packet must be dropped when queue is full")
+	}
+	if q.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", q.Drops())
+	}
+}
+
+func TestPriQueueAllControlFullDropsControl(t *testing.T) {
+	var f packet.Factory
+	q := NewPriQueue(2, nil)
+	q.Enqueue(mkCtrl(&f))
+	q.Enqueue(mkCtrl(&f))
+	if q.Enqueue(mkCtrl(&f)) {
+		t.Fatal("control packet with no data to evict must be dropped")
+	}
+}
+
+func TestPriQueueEmpty(t *testing.T) {
+	q := NewPriQueue(4, nil)
+	if q.Dequeue() != nil || q.Peek() != nil || q.Len() != 0 {
+		t.Fatal("empty queue invariants violated")
+	}
+}
+
+// Property: DropTail never exceeds capacity, never reorders, and
+// enqueued+dropped accounts for every offer.
+func TestDropTailProperty(t *testing.T) {
+	f := func(ops []bool, capRaw uint8) bool {
+		capacity := int(capRaw%20) + 1
+		var pf packet.Factory
+		q := NewDropTail(capacity, nil)
+		var model []uint64 // expected queue contents
+		accepted, dropped := 0, 0
+		for _, isEnq := range ops {
+			if isEnq {
+				p := mkData(&pf)
+				if q.Enqueue(p) {
+					accepted++
+					model = append(model, p.UID)
+				} else {
+					dropped++
+				}
+			} else {
+				got := q.Dequeue()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					if got == nil || got.UID != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() > capacity || q.Len() != len(model) {
+				return false
+			}
+		}
+		return q.Drops() == dropped && accepted+dropped == int(pf.Allocated())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PriQueue never exceeds capacity and never delivers a data
+// packet while control packets are queued.
+func TestPriQueueProperty(t *testing.T) {
+	f := func(ops []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%10) + 1
+		var pf packet.Factory
+		q := NewPriQueue(capacity, nil)
+		ctrlQueued := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				q.Enqueue(mkData(&pf))
+			case 1:
+				if q.Enqueue(mkCtrl(&pf)) {
+					ctrlQueued++
+				}
+			case 2:
+				p := q.Dequeue()
+				if p != nil && p.Type.IsControl() {
+					ctrlQueued--
+				}
+				if p != nil && !p.Type.IsControl() && ctrlQueued > 0 {
+					return false // data jumped ahead of control
+				}
+			}
+			if q.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDropTail(b *testing.B) {
+	var f packet.Factory
+	q := NewDropTail(64, nil)
+	p := mkData(&f)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(p)
+		q.Dequeue()
+	}
+}
+
+func BenchmarkPriQueueMixed(b *testing.B) {
+	var f packet.Factory
+	q := NewPriQueue(64, nil)
+	d, c := mkData(&f), mkCtrl(&f)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(d)
+		q.Enqueue(c)
+		q.Dequeue()
+		q.Dequeue()
+	}
+}

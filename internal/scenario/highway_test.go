@@ -1,0 +1,88 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"vanetsim/internal/scenario"
+	"vanetsim/internal/sim"
+)
+
+func TestHighwayIndicationsOrdered(t *testing.T) {
+	r := scenario.RunHighway(scenario.DefaultHighway(scenario.MAC80211, 6))
+	if len(r.Indications) != 5 {
+		t.Fatalf("indications = %d, want one per follower", len(r.Indications))
+	}
+	var prev sim.Time
+	for _, ind := range r.Indications {
+		if ind.IndicationDelay < 0 {
+			t.Fatalf("vehicle %v never notified", ind.Vehicle)
+		}
+		if ind.IndicationDelay < prev {
+			t.Fatalf("indication delays not monotone down the platoon: %v after %v",
+				ind.IndicationDelay, prev)
+		}
+		prev = ind.IndicationDelay
+		if ind.DistanceBlind <= 0 {
+			t.Fatalf("blind distance = %v", ind.DistanceBlind)
+		}
+	}
+}
+
+func TestHighway80211SafeTDMANot(t *testing.T) {
+	// The paper's conclusion, end-to-end: with 25 m gaps at 50 mph, the
+	// sub-10-ms 802.11 indication leaves everyone room to stop, while the
+	// TDMA slot wait puts the first follower into the lead's bumper.
+	dcf := scenario.RunHighway(scenario.DefaultHighway(scenario.MAC80211, 6))
+	if dcf.Collisions != 0 {
+		t.Fatalf("802.11 run had %d collisions, want 0", dcf.Collisions)
+	}
+	tdma := scenario.RunHighway(scenario.DefaultHighway(scenario.MACTDMA, 6))
+	if tdma.Collisions == 0 {
+		t.Fatal("TDMA run had no collisions; the latency penalty should be unsafe here")
+	}
+	// And the indication latencies differ by orders of magnitude.
+	if tdma.Indications[0].IndicationDelay < 10*dcf.Indications[0].IndicationDelay {
+		t.Fatalf("latency contrast too weak: TDMA %v vs 802.11 %v",
+			tdma.Indications[0].IndicationDelay, dcf.Indications[0].IndicationDelay)
+	}
+}
+
+func TestHighwayAllStopped(t *testing.T) {
+	r := scenario.RunHighway(scenario.DefaultHighway(scenario.MAC80211, 5))
+	for _, v := range r.Platoon.Vehicles() {
+		if v.Speed() != 0 {
+			t.Fatalf("vehicle %v still moving at end of run", v.ID())
+		}
+	}
+}
+
+func TestHighwayWiderGapsSafeEverywhere(t *testing.T) {
+	// With generous spacing even TDMA stops in time — the outcome is a
+	// function of gap vs latency, not hardwired.
+	cfg := scenario.DefaultHighway(scenario.MACTDMA, 5)
+	cfg.SpacingM = 60
+	r := scenario.RunHighway(cfg)
+	if r.Collisions != 0 {
+		t.Fatalf("60 m gaps should be safe even under TDMA; got %d collisions", r.Collisions)
+	}
+}
+
+func TestHighwayDeterminism(t *testing.T) {
+	a := scenario.RunHighway(scenario.DefaultHighway(scenario.MAC80211, 5))
+	b := scenario.RunHighway(scenario.DefaultHighway(scenario.MAC80211, 5))
+	for i := range a.Indications {
+		if a.Indications[i] != b.Indications[i] {
+			t.Fatalf("same seed diverged: %+v vs %+v", a.Indications[i], b.Indications[i])
+		}
+	}
+}
+
+func TestHighwayPanicsOnOneVehicle(t *testing.T) {
+	cfg := scenario.DefaultHighway(scenario.MAC80211, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-vehicle highway did not panic")
+		}
+	}()
+	scenario.RunHighway(cfg)
+}

@@ -1,0 +1,106 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"vanetsim/internal/scenario"
+)
+
+func runJam(t *testing.T, mod func(*scenario.JammingConfig)) *scenario.JammingResult {
+	t.Helper()
+	cfg := scenario.DefaultJamming(scenario.MAC80211)
+	mod(&cfg)
+	return scenario.RunJamming(cfg)
+}
+
+func TestNoJamBaselineDelivers(t *testing.T) {
+	for _, mac := range []scenario.MACType{scenario.MAC80211, scenario.MACTDMA} {
+		r := runJam(t, func(c *scenario.JammingConfig) {
+			c.MAC = mac
+			c.Jam.StartAt = 1e9 // attack never starts
+		})
+		if r.OverallDelivery < 0.99 {
+			t.Fatalf("%v baseline delivery = %.3f, want ~1", mac, r.OverallDelivery)
+		}
+		if r.Jammer.Bursts() != 0 {
+			t.Fatal("jammer transmitted before its start time")
+		}
+	}
+}
+
+func TestCoChannelJammerKillsBothMACs(t *testing.T) {
+	// During the attack window neither plain 802.11 (carrier sense defers
+	// forever) nor plain TDMA (every slot collides) gets anything through;
+	// overall delivery is just the pre-attack fraction of the run.
+	preAttack := 10.0 / 60.0
+	for _, mac := range []scenario.MACType{scenario.MAC80211, scenario.MACTDMA} {
+		r := runJam(t, func(c *scenario.JammingConfig) { c.MAC = mac })
+		if r.OverallDelivery > preAttack+0.05 {
+			t.Fatalf("%v delivered %.3f under co-channel jamming, want ~%.3f (pre-attack only)",
+				mac, r.OverallDelivery, preAttack)
+		}
+		if r.Jammer.Bursts() == 0 {
+			t.Fatal("jammer never ran")
+		}
+	}
+}
+
+func TestFHSSSurvivesSingleChannelJammer(t *testing.T) {
+	// The paper's §III.E security argument quantified: hopping over 8
+	// channels, a single-channel jammer can spoil only ~1/8 of slots.
+	r := runJam(t, func(c *scenario.JammingConfig) {
+		c.MAC = scenario.MACTDMA
+		c.HopChannels = 8
+	})
+	if r.OverallDelivery < 0.75 {
+		t.Fatalf("FHSS delivery = %.3f under single-channel jamming, want > 0.75", r.OverallDelivery)
+	}
+	// And it clearly beats the non-hopping run.
+	plain := runJam(t, func(c *scenario.JammingConfig) { c.MAC = scenario.MACTDMA })
+	if r.OverallDelivery < 2*plain.OverallDelivery {
+		t.Fatalf("FHSS (%.3f) should far exceed plain TDMA (%.3f) under attack",
+			r.OverallDelivery, plain.OverallDelivery)
+	}
+}
+
+func TestJammerStopRestoresDelivery(t *testing.T) {
+	// Bounded attack window: delivery resumes after StopAt.
+	r := runJam(t, func(c *scenario.JammingConfig) {
+		c.MAC = scenario.MAC80211
+		c.Jam.StartAt = 10
+		c.Jam.StopAt = 20
+	})
+	// 50/60 of the run is clean: expect most datagrams through.
+	if r.OverallDelivery < 0.75 {
+		t.Fatalf("delivery = %.3f with a 10 s attack in a 60 s run", r.OverallDelivery)
+	}
+	if r.Jammer.Running() {
+		t.Fatal("jammer still running after StopAt")
+	}
+}
+
+func TestJammingPerFlowAccounting(t *testing.T) {
+	r := runJam(t, func(c *scenario.JammingConfig) { c.MAC = scenario.MAC80211 })
+	if len(r.Flows) != 2 {
+		t.Fatalf("flows = %d", len(r.Flows))
+	}
+	for _, f := range r.Flows {
+		if f.Received > f.Sent {
+			t.Fatalf("flow to %v received more than sent: %d > %d", f.Receiver, f.Received, f.Sent)
+		}
+		if f.Delays.Len() != f.Received {
+			t.Fatalf("delay series (%d) disagrees with received count (%d)", f.Delays.Len(), f.Received)
+		}
+	}
+}
+
+func TestJammingPanicsOnTinyPlatoon(t *testing.T) {
+	cfg := scenario.DefaultJamming(scenario.MAC80211)
+	cfg.Vehicles = 1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single-vehicle jamming run did not panic")
+		}
+	}()
+	scenario.RunJamming(cfg)
+}

@@ -1,0 +1,171 @@
+// Package scenario assembles full protocol stacks — application,
+// transport, AODV, interface queue, MAC, radio — into simulated nodes, and
+// defines the paper's two-platoon intersection scenario and its three
+// trials. It is the Go equivalent of the paper's Tcl script.
+package scenario
+
+import (
+	"fmt"
+
+	"vanetsim/internal/aodv"
+	"vanetsim/internal/mac"
+	"vanetsim/internal/mac80211"
+	"vanetsim/internal/mactdma"
+	"vanetsim/internal/netlayer"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/phy"
+	"vanetsim/internal/queue"
+	"vanetsim/internal/sim"
+)
+
+// MACType selects the medium-access protocol — the paper's second variable
+// parameter.
+type MACType uint8
+
+// Supported MAC types.
+const (
+	MACTDMA MACType = iota
+	MAC80211
+)
+
+var macNames = [...]string{"TDMA", "802.11"}
+
+// String returns the MAC name as the paper writes it.
+func (m MACType) String() string {
+	if int(m) < len(macNames) {
+		return macNames[m]
+	}
+	return fmt.Sprintf("mac(%d)", uint8(m))
+}
+
+// QueueType selects the interface queue flavour.
+type QueueType uint8
+
+// Supported queue types.
+const (
+	QueueDropTail QueueType = iota
+	QueuePri
+	// QueueRED uses random early detection — the ablation against the
+	// paper's drop-tail choice (RED cuts the standing queue and with it
+	// the steady-state delay plateau).
+	QueueRED
+)
+
+// StackConfig describes how every node's stack is built.
+type StackConfig struct {
+	MAC      MACType
+	Queue    QueueType
+	QueueCap int
+	Radio    phy.RadioParams
+	Prop     phy.Propagation
+	TDMA     mactdma.Config
+	DCF      mac80211.Config
+	AODV     aodv.Config
+}
+
+// DefaultStackConfig returns the paper's fixed parameters: drop-tail
+// priority queue of 50 packets, AODV routing, ns-2 WaveLAN radio, with the
+// requested MAC.
+func DefaultStackConfig(m MACType) StackConfig {
+	return StackConfig{
+		MAC:      m,
+		Queue:    QueuePri,
+		QueueCap: 50,
+		Radio:    phy.DefaultRadioParams(),
+		Prop:     phy.DefaultPropagation(),
+		TDMA:     mactdma.DefaultConfig(),
+		DCF:      mac80211.DefaultConfig(),
+		AODV:     aodv.DefaultConfig(),
+	}
+}
+
+// Node is one assembled stack.
+type Node struct {
+	ID    packet.NodeID
+	Net   *netlayer.Net
+	AODV  *aodv.Agent
+	Radio *phy.Radio
+	Ifq   queue.Queue
+	MAC   mac.MAC
+
+	// Exactly one of these is non-nil, matching the world's MAC type;
+	// they expose protocol-specific statistics.
+	TDMA *mactdma.MAC
+	DCF  *mac80211.MAC
+}
+
+// World owns the shared simulation infrastructure and the set of nodes.
+type World struct {
+	Sched   *sim.Scheduler
+	Channel *phy.Channel
+	PF      *packet.Factory
+	RNG     *sim.RNG
+	Nodes   []*Node
+
+	cfg      StackConfig
+	schedule *mactdma.Schedule // TDMA worlds only
+}
+
+// NewWorld creates an empty world with the given stack recipe and seed.
+func NewWorld(cfg StackConfig, seed uint64) *World {
+	s := sim.New()
+	w := &World{
+		Sched:   s,
+		Channel: phy.NewChannel(s, cfg.Prop),
+		PF:      &packet.Factory{},
+		RNG:     sim.NewRNG(seed),
+		cfg:     cfg,
+	}
+	if cfg.MAC == MACTDMA {
+		w.schedule = mactdma.NewSchedule(cfg.TDMA.SlotDuration())
+	}
+	return w
+}
+
+// Config returns the stack recipe the world builds with.
+func (w *World) Config() StackConfig { return w.cfg }
+
+// TDMASchedule returns the shared slot schedule (nil for 802.11 worlds).
+func (w *World) TDMASchedule() *mactdma.Schedule { return w.schedule }
+
+// AddNode assembles a full stack for node id whose position is reported by
+// pos, attaches it to the channel, and returns it.
+func (w *World) AddNode(id packet.NodeID, pos phy.PositionFn) *Node {
+	n := &Node{ID: id}
+	n.Radio = phy.NewRadio(id, w.Sched, pos, w.cfg.Radio)
+	w.Channel.Attach(n.Radio)
+	n.Net = netlayer.New(id)
+	switch w.cfg.Queue {
+	case QueuePri:
+		n.Ifq = queue.NewPriQueue(w.cfg.QueueCap, nil)
+	case QueueRED:
+		n.Ifq = queue.NewRED(w.cfg.QueueCap, queue.DefaultREDConfig(), w.RNG.Fork(fmt.Sprintf("red-%d", id)), nil)
+	default:
+		n.Ifq = queue.NewDropTail(w.cfg.QueueCap, nil)
+	}
+	switch w.cfg.MAC {
+	case MACTDMA:
+		n.TDMA = mactdma.New(id, w.Sched, n.Radio, n.Ifq, n.Net, w.schedule, w.cfg.TDMA)
+		n.MAC = n.TDMA
+	case MAC80211:
+		rng := w.RNG.Fork(fmt.Sprintf("mac80211-%d", id))
+		n.DCF = mac80211.New(id, w.Sched, n.Radio, n.Ifq, n.Net, w.PF, rng, w.cfg.DCF)
+		n.MAC = n.DCF
+	default:
+		panic(fmt.Sprintf("scenario: unknown MAC type %v", w.cfg.MAC))
+	}
+	n.Net.Attach(n.Ifq, n.MAC)
+	n.AODV = aodv.New(w.Sched, n.Net, w.PF, w.RNG.Fork(fmt.Sprintf("aodv-%d", id)), w.cfg.AODV)
+	w.Nodes = append(w.Nodes, n)
+	return n
+}
+
+// Node returns the node with the given ID, or nil.
+func (w *World) Node(id packet.NodeID) *Node {
+	for _, n := range w.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}

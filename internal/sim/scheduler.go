@@ -1,0 +1,217 @@
+// Package sim provides the deterministic discrete-event core that every
+// other subsystem of the simulator is built on: a virtual clock, an event
+// scheduler with cancellable timers, and a reproducible random number
+// generator.
+//
+// The engine is single-threaded by design. Determinism — the property that
+// the same seed and the same scenario produce the same trace, bit for bit —
+// is what makes the reproduction of the paper's figures meaningful, so the
+// scheduler breaks ties between simultaneous events by scheduling order
+// (FIFO) rather than by map iteration or goroutine interleaving.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in seconds since the start of the run.
+//
+// A float64 carries 53 bits of mantissa: at nanosecond granularity this is
+// exact past 10^6 simulated seconds, far beyond any scenario in this
+// repository. This mirrors ns-2, which the paper used, and keeps arithmetic
+// with physical quantities (metres, metres/second) direct.
+type Time float64
+
+// Common durations, usable as Time deltas.
+const (
+	Nanosecond  Time = 1e-9
+	Microsecond Time = 1e-6
+	Millisecond Time = 1e-3
+	Second      Time = 1
+)
+
+// Seconds returns the time as a plain float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// String formats the time with microsecond precision, e.g. "12.000350s".
+func (t Time) String() string { return fmt.Sprintf("%.6fs", float64(t)) }
+
+// Forever is a time later than any event a scenario can schedule. It is the
+// natural "no deadline" sentinel for RunUntil.
+const Forever = Time(math.MaxFloat64)
+
+// Timer is a handle to a scheduled event. The zero value is not useful;
+// timers are created by Scheduler.Schedule and Scheduler.At.
+type Timer struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+	index    int // position in the heap, -1 once removed
+}
+
+// Cancel prevents the timer from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. Cancel is O(log n).
+func (t *Timer) Cancel() {
+	if t == nil || t.fired || t.canceled {
+		return
+	}
+	t.canceled = true
+}
+
+// Active reports whether the timer is still pending (not fired, not
+// cancelled).
+func (t *Timer) Active() bool { return t != nil && !t.fired && !t.canceled }
+
+// When returns the simulated time the timer is (or was) set to fire.
+func (t *Timer) When() Time { return t.at }
+
+// Scheduler is the discrete-event executive: it owns the virtual clock and
+// the pending-event queue. The zero value is a ready-to-use scheduler at
+// time 0.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	executed uint64 // number of events fired, for instrumentation
+}
+
+// New returns a scheduler with its clock at zero.
+func New() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Executed returns the number of events fired so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events currently scheduled.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+// Schedule runs fn after delay of simulated time and returns a cancellable
+// handle. A zero delay schedules fn at the current time, after all events
+// already scheduled for that time (FIFO tie-break). Schedule panics on a
+// negative delay or NaN: scheduling into the past is always a simulator
+// bug, and silently clamping it would hide causality violations.
+func (s *Scheduler) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 || math.IsNaN(float64(delay)) {
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", delay, s.now))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute simulated time t. It panics if t is in the past.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now || math.IsNaN(float64(t)) {
+		panic(fmt.Sprintf("sim: At(%v) is before now (%v)", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: At with nil func")
+	}
+	tm := &Timer{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, tm)
+	return tm
+}
+
+// Step fires the single earliest pending event. It returns false if no
+// events remain or the scheduler has been stopped.
+func (s *Scheduler) Step() bool {
+	for {
+		if s.stopped || len(s.events) == 0 {
+			return false
+		}
+		tm := heap.Pop(&s.events).(*Timer)
+		if tm.canceled {
+			continue
+		}
+		s.now = tm.at
+		tm.fired = true
+		s.executed++
+		tm.fn()
+		return true
+	}
+}
+
+// Run fires events until none remain or Stop is called.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the
+// clock to the deadline (if the run wasn't stopped early). Events scheduled
+// after the deadline remain pending.
+func (s *Scheduler) RunUntil(deadline Time) {
+	for {
+		if s.stopped {
+			return
+		}
+		tm := s.peek()
+		if tm == nil || tm.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+// Pending events are kept; a stopped scheduler fires nothing further.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Scheduler) Stopped() bool { return s.stopped }
+
+// peek returns the earliest non-cancelled pending timer without firing it.
+func (s *Scheduler) peek() *Timer {
+	for len(s.events) > 0 {
+		tm := s.events[0]
+		if !tm.canceled {
+			return tm
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}
+
+// eventHeap is a min-heap ordered by (time, insertion sequence).
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	tm := x.(*Timer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}

@@ -1,0 +1,233 @@
+// Package stats provides the summary statistics and confidence-interval
+// machinery the paper's analysis uses: per-metric min/mean/max, Student-t
+// confidence intervals on a mean, batch means for autocorrelated
+// simulation output, and relative precision ("within X Mbps of the
+// observed value, with a 95% confidence and a Y% relative precision").
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics the paper reports for every
+// metric.
+type Summary struct {
+	N    int
+	Mean float64
+	Min  float64
+	Max  float64
+	Std  float64 // sample standard deviation (n-1)
+}
+
+// Summarize computes a Summary of xs. An empty input returns a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs by linear
+// interpolation. It returns NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// CI is a two-sided confidence interval on a mean.
+type CI struct {
+	Mean      float64
+	HalfWidth float64
+	Level     float64 // e.g. 0.95
+	N         int
+}
+
+// Lo returns the interval's lower bound.
+func (c CI) Lo() float64 { return c.Mean - c.HalfWidth }
+
+// Hi returns the interval's upper bound.
+func (c CI) Hi() float64 { return c.Mean + c.HalfWidth }
+
+// RelPrecision returns half-width / |mean| — the paper's "relative
+// precision" (reported as a percentage). It returns +Inf for a zero mean.
+func (c CI) RelPrecision() float64 {
+	if c.Mean == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(c.HalfWidth / c.Mean)
+}
+
+// MeanCI returns the level (e.g. 0.95) confidence interval for the mean of
+// xs, assuming independent samples (use BatchMeans first for correlated
+// simulation output). With fewer than two samples the half-width is +Inf.
+func MeanCI(xs []float64, level float64) CI {
+	s := Summarize(xs)
+	ci := CI{Mean: s.Mean, Level: level, N: s.N}
+	if s.N < 2 {
+		ci.HalfWidth = math.Inf(1)
+		return ci
+	}
+	t := TQuantile(1-(1-level)/2, s.N-1)
+	ci.HalfWidth = t * s.Std / math.Sqrt(float64(s.N))
+	return ci
+}
+
+// BatchMeans reduces a correlated series to nbatches approximately
+// independent batch means (dropping a remainder tail shorter than a
+// batch). It returns nil if the series is shorter than nbatches.
+func BatchMeans(xs []float64, nbatches int) []float64 {
+	if nbatches <= 0 || len(xs) < nbatches {
+		return nil
+	}
+	size := len(xs) / nbatches
+	out := make([]float64, 0, nbatches)
+	for b := 0; b < nbatches; b++ {
+		sum := 0.0
+		for i := b * size; i < (b+1)*size; i++ {
+			sum += xs[i]
+		}
+		out = append(out, sum/float64(size))
+	}
+	return out
+}
+
+// BatchMeansCI is the paper's throughput confidence analysis in one call:
+// batch the series, then compute the Student-t interval on the batch
+// means.
+func BatchMeansCI(xs []float64, nbatches int, level float64) CI {
+	return MeanCI(BatchMeans(xs, nbatches), level)
+}
+
+// TQuantile returns the p-quantile (0 < p < 1) of Student's t
+// distribution with df degrees of freedom, by inverting the CDF with
+// bisection on a numerically stable incomplete-beta CDF.
+func TQuantile(p float64, df int) float64 {
+	if df <= 0 || math.IsNaN(p) || p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	if p < 0.5 {
+		return -TQuantile(1-p, df)
+	}
+	lo, hi := 0.0, 1.0
+	for TCDF(hi, df) < p {
+		hi *= 2
+		if hi > 1e9 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TCDF returns P(T <= t) for Student's t with df degrees of freedom.
+func TCDF(t float64, df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	x := float64(df) / (float64(df) + t*t)
+	p := 0.5 * RegIncBeta(float64(df)/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b)
+// via the continued-fraction expansion (Lentz's method).
+func RegIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	// Symmetry transformation for faster convergence.
+	if x > (a+1)/(a+b+2) {
+		return 1 - RegIncBeta(b, a, 1-x)
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+
+	const tiny = 1e-30
+	f, c, d := 1.0, 1.0, 0.0
+	for i := 0; i <= 300; i++ {
+		m := i / 2
+		var num float64
+		switch {
+		case i == 0:
+			num = 1
+		case i%2 == 0:
+			num = float64(m) * (b - float64(m)) * x / ((a + 2*float64(m) - 1) * (a + 2*float64(m)))
+		default:
+			num = -((a + float64(m)) * (a + b + float64(m)) * x) / ((a + 2*float64(m)) * (a + 2*float64(m) + 1))
+		}
+		d = 1 + num*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + num/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		f *= c * d
+		if math.Abs(1-c*d) < 1e-12 {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

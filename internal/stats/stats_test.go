@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vanetsim/internal/sim"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	if !almost(s.Std, math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{3})
+	if s.N != 1 || s.Mean != 3 || s.Std != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile should be NaN")
+	}
+}
+
+// Known Student-t critical values (two-sided 95% -> 0.975 quantile).
+func TestTQuantileAgainstTables(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706},
+		{2, 4.303},
+		{5, 2.571},
+		{10, 2.228},
+		{30, 2.042},
+		{100, 1.984},
+	}
+	for _, c := range cases {
+		got := TQuantile(0.975, c.df)
+		if !almost(got, c.want, 0.01) {
+			t.Errorf("t(0.975, df=%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// 0.95 one-sided values too.
+	if got := TQuantile(0.95, 10); !almost(got, 1.812, 0.01) {
+		t.Errorf("t(0.95, 10) = %v", got)
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	if got := TQuantile(0.5, 7); got != 0 {
+		t.Fatalf("median of t should be 0, got %v", got)
+	}
+	a, b := TQuantile(0.975, 7), TQuantile(0.025, 7)
+	if !almost(a, -b, 1e-9) {
+		t.Fatalf("quantiles not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestTCDFMatchesNormalForLargeDF(t *testing.T) {
+	// t with many degrees of freedom converges to the standard normal:
+	// Phi(1.96) ~ 0.975.
+	if got := TCDF(1.96, 10000); !almost(got, 0.975, 0.001) {
+		t.Fatalf("TCDF(1.96, 10000) = %v", got)
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almost(got, x, 1e-9) {
+			t.Fatalf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2,2) = 3x² - 2x³.
+	x := 0.3
+	if got := RegIncBeta(2, 2, x); !almost(got, 3*x*x-2*x*x*x, 1e-9) {
+		t.Fatalf("I_0.3(2,2) = %v", got)
+	}
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+}
+
+func TestMeanCICoversTrueMean(t *testing.T) {
+	// Frequentist check: ~95% of 95% CIs over normal samples cover the
+	// true mean.
+	rng := sim.NewRNG(2024)
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 30)
+		for j := range xs {
+			xs[j] = rng.Normal(10, 2)
+		}
+		ci := MeanCI(xs, 0.95)
+		if ci.Lo() <= 10 && 10 <= ci.Hi() {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.91 || rate > 0.99 {
+		t.Fatalf("CI coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestMeanCIDegenerate(t *testing.T) {
+	ci := MeanCI([]float64{5}, 0.95)
+	if !math.IsInf(ci.HalfWidth, 1) {
+		t.Fatal("single-sample CI must be infinitely wide")
+	}
+	if !math.IsInf(CI{Mean: 0, HalfWidth: 1}.RelPrecision(), 1) {
+		t.Fatal("relative precision of zero mean must be +Inf")
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9} // 9 samples, 4 batches of 2
+	bm := BatchMeans(xs, 4)
+	want := []float64{1.5, 3.5, 5.5, 7.5}
+	if len(bm) != 4 {
+		t.Fatalf("got %d batches", len(bm))
+	}
+	for i := range want {
+		if bm[i] != want[i] {
+			t.Fatalf("batch means = %v, want %v", bm, want)
+		}
+	}
+	if BatchMeans(xs, 0) != nil || BatchMeans([]float64{1}, 2) != nil {
+		t.Fatal("degenerate batching should return nil")
+	}
+}
+
+func TestBatchMeansPreservesOverallMeanWhenDivisible(t *testing.T) {
+	f := func(raw []uint8, nbRaw uint8) bool {
+		nb := int(nbRaw%8) + 1
+		n := (len(raw) / nb) * nb
+		if n == 0 {
+			return true
+		}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(raw[i])
+		}
+		bm := BatchMeans(xs, nb)
+		return almost(Summarize(bm).Mean, Summarize(xs).Mean, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CI half-width shrinks (weakly) as sample size grows, for iid
+// data with fixed spread.
+func TestCIShrinksWithN(t *testing.T) {
+	rng := sim.NewRNG(7)
+	mk := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Normal(0, 1)
+		}
+		return xs
+	}
+	small := MeanCI(mk(10), 0.95).HalfWidth
+	large := MeanCI(mk(1000), 0.95).HalfWidth
+	if large >= small {
+		t.Fatalf("CI did not shrink: n=10 -> %v, n=1000 -> %v", small, large)
+	}
+}
+
+func TestCIBounds(t *testing.T) {
+	ci := CI{Mean: 10, HalfWidth: 2, Level: 0.95, N: 5}
+	if ci.Lo() != 8 || ci.Hi() != 12 {
+		t.Fatalf("bounds = [%v, %v]", ci.Lo(), ci.Hi())
+	}
+	if !almost(ci.RelPrecision(), 0.2, 1e-12) {
+		t.Fatalf("rel precision = %v", ci.RelPrecision())
+	}
+}
+
+func TestTQuantileInvalid(t *testing.T) {
+	for _, bad := range []float64{0, 1, -0.5, math.NaN()} {
+		if !math.IsNaN(TQuantile(bad, 5)) {
+			t.Fatalf("TQuantile(%v, 5) should be NaN", bad)
+		}
+	}
+	if !math.IsNaN(TQuantile(0.9, 0)) {
+		t.Fatal("df=0 should be NaN")
+	}
+}
+
+func BenchmarkTQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TQuantile(0.975, 9)
+	}
+}
+
+func BenchmarkBatchMeansCI(b *testing.B) {
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = float64(i % 13)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BatchMeansCI(xs, 10, 0.95)
+	}
+}

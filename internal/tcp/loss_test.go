@@ -1,0 +1,91 @@
+package tcp_test
+
+import (
+	"testing"
+
+	"vanetsim/internal/geom"
+	"vanetsim/internal/jammer"
+	"vanetsim/internal/phy"
+	"vanetsim/internal/scenario"
+	"vanetsim/internal/tcp"
+)
+
+// TestBulkTransferUnderHiddenInterference drives a transfer past a
+// *hidden* jammer: a low-power attacker next to the receiver that the
+// sender cannot carrier-sense, so CSMA cannot defer around it and data
+// frames genuinely collide at the receiver. MAC retries, AODV salvage and
+// TCP loss recovery all fire, and the sink must still end with exactly
+// the transferred byte count.
+func TestBulkTransferUnderHiddenInterference(t *testing.T) {
+	cfg := tcp.DefaultConfig()
+	w := scenario.NewWorld(scenario.DefaultStackConfig(scenario.MAC80211), 2024)
+	w.AddNode(0, fixed(0, 0))
+	w.AddNode(1, fixed(240, 0)) // near the edge of the 250 m receive range
+	snd := tcp.NewSender(w.Sched, w.Nodes[0].Net, w.PF, 100, 1, 200, cfg)
+	snk := tcp.NewSink(w.Sched, w.Nodes[1].Net, w.PF, 200, cfg)
+
+	// The hidden jammer: 30 m from the receiver, transmit power scaled so
+	// the sender (242 m away) never senses it, while the weakened data
+	// signal at the receiver cannot capture over it.
+	jparams := w.Config().Radio
+	jparams.TxPowerW *= 5e-3
+	jr := phy.NewRadio(99, w.Sched, func() geom.Vec2 { return geom.V(240, 30) }, jparams)
+	w.Channel.Attach(jr)
+	jcfg := jammer.DefaultConfig()
+	jcfg.DutyCycle = 0.5
+	jcfg.StartAt = 0.01
+	jcfg.StopAt = 15
+	j := jammer.New(99, w.Sched, jr, w.PF, jcfg)
+
+	const n = 150
+	snd.SendBytes(n * cfg.SegmentSize)
+	w.Sched.RunUntil(200)
+
+	if j.Bursts() == 0 {
+		t.Fatal("jammer never ran; test proves nothing")
+	}
+	if w.Nodes[1].Radio.Stats().RxCollided == 0 {
+		t.Fatal("hidden jammer corrupted nothing; test proves nothing")
+	}
+	if w.Nodes[0].DCF.Stats().Retries == 0 {
+		t.Fatal("no MAC retries despite collisions; test proves nothing")
+	}
+	if snk.Bytes() != n*cfg.SegmentSize {
+		t.Fatalf("sink bytes = %d, want exactly %d despite interference", snk.Bytes(), n*cfg.SegmentSize)
+	}
+	if snd.Outstanding() != 0 {
+		t.Fatalf("%d segments still outstanding", snd.Outstanding())
+	}
+}
+
+// TestTCPUnderSustainedJamStallsThenRecovers parks a full-power, full-duty
+// jammer next to the whole link: carrier sense keeps the sender deferring
+// for the attack's duration (no progress), and the transfer completes
+// cleanly once the attack ends.
+func TestTCPUnderSustainedJamStallsThenRecovers(t *testing.T) {
+	cfg := tcp.DefaultConfig()
+	w := scenario.NewWorld(scenario.DefaultStackConfig(scenario.MAC80211), 7)
+	w.AddNode(0, fixed(0, 0))
+	w.AddNode(1, fixed(100, 0))
+	snd := tcp.NewSender(w.Sched, w.Nodes[0].Net, w.PF, 100, 1, 200, cfg)
+	snk := tcp.NewSink(w.Sched, w.Nodes[1].Net, w.PF, 200, cfg)
+
+	jr := phy.NewRadio(99, w.Sched, func() geom.Vec2 { return geom.V(50, 10) }, w.Config().Radio)
+	w.Channel.Attach(jr)
+	jcfg := jammer.DefaultConfig()
+	jcfg.StartAt = 0.005 // before slow start can finish
+	jcfg.StopAt = 5
+	jammer.New(99, w.Sched, jr, w.PF, jcfg)
+
+	const n = 50
+	snd.SendBytes(n * cfg.SegmentSize)
+	w.Sched.RunUntil(4) // mid-attack
+	midway := snk.Bytes()
+	if midway >= n*cfg.SegmentSize/2 {
+		t.Fatalf("transferred %d bytes through a continuous jammer; attack ineffective", midway)
+	}
+	w.Sched.RunUntil(120)
+	if snk.Bytes() != n*cfg.SegmentSize {
+		t.Fatalf("post-attack recovery incomplete: %d/%d bytes", snk.Bytes(), n*cfg.SegmentSize)
+	}
+}

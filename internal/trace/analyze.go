@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"vanetsim/internal/metrics"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// FlowKey identifies one transport flow in a trace.
+type FlowKey struct {
+	Src   packet.NodeID
+	SrcPt int
+	Dst   packet.NodeID
+	DstPt int
+}
+
+// OneWayDelays pairs agent-level sends with receives per flow and returns
+// a delay series per flow indexed by transport sequence number — exactly
+// the offline trace analysis the paper describes. A retransmitted sequence
+// number keeps its first send time; only the first receive counts.
+func OneWayDelays(recs []Record) map[FlowKey]*metrics.DelaySeries {
+	type pk struct {
+		flow FlowKey
+		seq  int
+	}
+	firstSend := make(map[pk]sim.Time)
+	received := make(map[pk]bool)
+	out := make(map[FlowKey]*metrics.DelaySeries)
+	for _, r := range recs {
+		if r.Layer != LayerAgent || r.Type != "tcp" || r.Seq < 0 {
+			continue
+		}
+		key := pk{FlowKey{r.Src, r.SrcPt, r.Dst, r.DstPt}, r.Seq}
+		switch r.Op {
+		case Send:
+			if _, dup := firstSend[key]; !dup {
+				firstSend[key] = r.At
+			}
+		case Recv:
+			if r.Node != r.Dst || received[key] {
+				continue
+			}
+			sent, ok := firstSend[key]
+			if !ok {
+				continue
+			}
+			received[key] = true
+			s := out[key.flow]
+			if s == nil {
+				s = &metrics.DelaySeries{}
+				out[key.flow] = s
+			}
+			s.Add(r.Seq, r.At-sent)
+		}
+	}
+	return out
+}
+
+// FlowThroughput bins agent-level receive bytes per destination node,
+// mirroring the paper's per-platoon throughput records.
+func FlowThroughput(recs []Record, bin sim.Time) map[packet.NodeID]*metrics.Throughput {
+	out := make(map[packet.NodeID]*metrics.Throughput)
+	for _, r := range recs {
+		if r.Layer != LayerAgent || r.Op != Recv || r.Type != "tcp" {
+			continue
+		}
+		if r.Node != r.Dst {
+			continue
+		}
+		t := out[r.Node]
+		if t == nil {
+			t = metrics.NewThroughput(bin)
+			out[r.Node] = t
+		}
+		t.Add(r.At, r.Size)
+	}
+	return out
+}

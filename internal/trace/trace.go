@@ -1,0 +1,214 @@
+// Package trace records simulation events in an ns-2-like trace format and
+// parses them back. The paper computed its one-way delay "offline by
+// parsing the trace file"; cmd/ebltrace reproduces that workflow on the
+// traces this package writes.
+//
+// Line format (one event per line):
+//
+//	s 12.000350 _0_ AGT --- 42 tcp 1040 [0:100 1:200] 5
+//
+// fields: op time _node_ layer reason uid type size [src:sport dst:dport]
+// seq. Reason is "---" when absent; seq is the transport sequence number
+// or -1.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// Op is the event kind.
+type Op byte
+
+// Event kinds, using ns-2's letters.
+const (
+	Send    Op = 's'
+	Recv    Op = 'r'
+	Drop    Op = 'd'
+	Forward Op = 'f'
+)
+
+// Layer identifies where in the stack the event happened.
+type Layer string
+
+// Stack layers, ns-2 names.
+const (
+	LayerAgent   Layer = "AGT" // application/transport boundary
+	LayerRouting Layer = "RTR"
+	LayerIfq     Layer = "IFQ"
+	LayerMac     Layer = "MAC"
+)
+
+// Record is one trace event.
+type Record struct {
+	Op     Op
+	At     sim.Time
+	Node   packet.NodeID
+	Layer  Layer
+	Reason string // drop reason, empty otherwise
+	UID    uint64
+	Type   string // packet type name ("tcp", "ack", "AODV", ...)
+	Size   int
+	Src    packet.NodeID
+	SrcPt  int
+	Dst    packet.NodeID
+	DstPt  int
+	Seq    int // transport sequence number, -1 if none
+}
+
+// Line formats the record in the trace-file syntax.
+func (r Record) Line() string {
+	reason := r.Reason
+	if reason == "" {
+		reason = "---"
+	}
+	return fmt.Sprintf("%c %.6f _%d_ %s %s %d %s %d [%d:%d %d:%d] %d",
+		byte(r.Op), float64(r.At), int32(r.Node), r.Layer, reason,
+		r.UID, r.Type, r.Size,
+		int32(r.Src), r.SrcPt, int32(r.Dst), r.DstPt, r.Seq)
+}
+
+// FromPacket fills a record's packet-derived fields.
+func FromPacket(op Op, at sim.Time, node packet.NodeID, layer Layer, p *packet.Packet) Record {
+	seq := -1
+	if p.TCP != nil {
+		seq = p.TCP.Seq
+	}
+	return Record{
+		Op: op, At: at, Node: node, Layer: layer,
+		UID: p.UID, Type: p.Type.String(), Size: p.Size,
+		Src: p.IP.Src, SrcPt: p.IP.SrcPort,
+		Dst: p.IP.Dst, DstPt: p.IP.DstPort,
+		Seq: seq,
+	}
+}
+
+// Parse decodes one trace line.
+func Parse(line string) (Record, error) {
+	f := strings.Fields(line)
+	if len(f) != 11 {
+		return Record{}, fmt.Errorf("trace: want 11 fields, got %d in %q", len(f), line)
+	}
+	var r Record
+	if len(f[0]) != 1 {
+		return Record{}, fmt.Errorf("trace: bad op %q", f[0])
+	}
+	switch Op(f[0][0]) {
+	case Send, Recv, Drop, Forward:
+		r.Op = Op(f[0][0])
+	default:
+		return Record{}, fmt.Errorf("trace: unknown op %q", f[0])
+	}
+	at, err := strconv.ParseFloat(f[1], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad time: %w", err)
+	}
+	r.At = sim.Time(at)
+	node := strings.Trim(f[2], "_")
+	n, err := strconv.ParseInt(node, 10, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad node: %w", err)
+	}
+	r.Node = packet.NodeID(n)
+	r.Layer = Layer(f[3])
+	if f[4] != "---" {
+		r.Reason = f[4]
+	}
+	uid, err := strconv.ParseUint(f[5], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad uid: %w", err)
+	}
+	r.UID = uid
+	r.Type = f[6]
+	size, err := strconv.Atoi(f[7])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad size: %w", err)
+	}
+	r.Size = size
+	srcPart := strings.TrimPrefix(f[8], "[")
+	dstPart := strings.TrimSuffix(f[9], "]")
+	if r.Src, r.SrcPt, err = parseAddr(srcPart); err != nil {
+		return Record{}, err
+	}
+	if r.Dst, r.DstPt, err = parseAddr(dstPart); err != nil {
+		return Record{}, err
+	}
+	seq, err := strconv.Atoi(f[10])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad seq: %w", err)
+	}
+	r.Seq = seq
+	return r, nil
+}
+
+func parseAddr(s string) (packet.NodeID, int, error) {
+	host, port, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("trace: bad address %q", s)
+	}
+	h, err := strconv.ParseInt(host, 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("trace: bad address host: %w", err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return 0, 0, fmt.Errorf("trace: bad address port: %w", err)
+	}
+	return packet.NodeID(h), p, nil
+}
+
+// Collector accumulates records in memory and optionally streams them to a
+// writer. The zero value collects in memory only.
+type Collector struct {
+	recs []Record
+	w    io.Writer
+	err  error
+}
+
+// NewCollector returns a collector that also writes each record as a line
+// to w (which may be nil).
+func NewCollector(w io.Writer) *Collector { return &Collector{w: w} }
+
+// Add records one event.
+func (c *Collector) Add(r Record) {
+	c.recs = append(c.recs, r)
+	if c.w != nil && c.err == nil {
+		_, c.err = fmt.Fprintln(c.w, r.Line())
+	}
+}
+
+// Records returns all events in order.
+func (c *Collector) Records() []Record { return c.recs }
+
+// Err returns the first write error, if any.
+func (c *Collector) Err() error { return c.err }
+
+// ReadAll parses a whole trace stream.
+func ReadAll(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}

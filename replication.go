@@ -1,0 +1,81 @@
+package vanetsim
+
+import (
+	"fmt"
+	"strings"
+
+	"vanetsim/internal/stats"
+)
+
+// Replication is one independent run's headline measurements.
+type Replication struct {
+	Seed        uint64
+	AvgDelayS   float64 // platoon-1 middle-vehicle mean one-way delay
+	SteadyS     float64 // its steady-state level
+	FirstS      float64 // trailing vehicle's initial-packet delay
+	AvgTputMbps float64 // platoon-1 average throughput
+}
+
+// ReplicationStudy re-runs a trial configuration across independent seeds
+// and reports cross-replication confidence intervals — the methodology
+// upgrade over the paper's single-run-with-batch-means analysis (batch
+// means within one run cannot capture run-to-run variability).
+type ReplicationStudy struct {
+	Config TrialConfig
+	Runs   []Replication
+
+	DelayCI  stats.CI
+	SteadyCI stats.CI
+	FirstCI  stats.CI
+	TputCI   stats.CI
+}
+
+// RunReplications executes cfg once per seed and aggregates 95% CIs.
+// It panics if fewer than two seeds are given (no interval exists).
+func RunReplications(cfg TrialConfig, seeds []uint64) *ReplicationStudy {
+	if len(seeds) < 2 {
+		panic("vanetsim: replication study needs at least two seeds")
+	}
+	st := &ReplicationStudy{Config: cfg}
+	var delays, steadies, firsts, tputs []float64
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		r := RunTrial(c)
+		d := r.Platoon1.MiddleDelays()
+		_, steady := d.SteadyState()
+		first, _ := r.Platoon1.TrailingDelays().First()
+		rep := Replication{
+			Seed:        seed,
+			AvgDelayS:   d.Summary().Mean,
+			SteadyS:     steady,
+			FirstS:      float64(first),
+			AvgTputMbps: r.Platoon1.Throughput().Summary(c.Duration).Mean,
+		}
+		st.Runs = append(st.Runs, rep)
+		delays = append(delays, rep.AvgDelayS)
+		steadies = append(steadies, rep.SteadyS)
+		firsts = append(firsts, rep.FirstS)
+		tputs = append(tputs, rep.AvgTputMbps)
+	}
+	const level = 0.95
+	st.DelayCI = stats.MeanCI(delays, level)
+	st.SteadyCI = stats.MeanCI(steadies, level)
+	st.FirstCI = stats.MeanCI(firsts, level)
+	st.TputCI = stats.MeanCI(tputs, level)
+	return st
+}
+
+// String renders the study as a compact report.
+func (s *ReplicationStudy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v over %d replications (95%% CIs):\n", s.Config, len(s.Runs))
+	row := func(name string, ci stats.CI, unit string) {
+		fmt.Fprintf(&b, "  %-14s %.4f ± %.4f %s\n", name, ci.Mean, ci.HalfWidth, unit)
+	}
+	row("avg delay", s.DelayCI, "s")
+	row("steady delay", s.SteadyCI, "s")
+	row("initial pkt", s.FirstCI, "s")
+	row("avg throughput", s.TputCI, "Mbps")
+	return b.String()
+}

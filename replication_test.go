@@ -1,0 +1,65 @@
+package vanetsim_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vanetsim"
+)
+
+func TestReplicationStudy80211(t *testing.T) {
+	cfg := vanetsim.Trial3()
+	cfg.Duration = vanetsim.Seconds(60)
+	st := vanetsim.RunReplications(cfg, []uint64{1, 2, 3, 4})
+	if len(st.Runs) != 4 {
+		t.Fatalf("runs = %d", len(st.Runs))
+	}
+	// 802.11 backoff is random, so replications must differ...
+	same := true
+	for _, r := range st.Runs[1:] {
+		if r.AvgDelayS != st.Runs[0].AvgDelayS {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical delay means")
+	}
+	// ...but only slightly: the CI should be tight around a stable value.
+	if st.DelayCI.HalfWidth <= 0 || math.IsInf(st.DelayCI.HalfWidth, 1) {
+		t.Fatalf("degenerate delay CI: %+v", st.DelayCI)
+	}
+	if st.DelayCI.RelPrecision() > 0.5 {
+		t.Fatalf("delay CI implausibly wide: %+v", st.DelayCI)
+	}
+	if st.TputCI.Mean <= 0 {
+		t.Fatal("throughput CI mean must be positive")
+	}
+	out := st.String()
+	for _, want := range []string{"4 replications", "avg delay", "avg throughput"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplicationStudyTDMADeterministicLayersAgree(t *testing.T) {
+	// TDMA has no random backoff, so per-seed results are identical and
+	// the cross-seed CI collapses to zero width — which is itself a
+	// statement about the protocol.
+	cfg := vanetsim.Trial1()
+	cfg.Duration = vanetsim.Seconds(50)
+	st := vanetsim.RunReplications(cfg, []uint64{1, 2, 3})
+	if st.SteadyCI.HalfWidth > 1e-9 {
+		t.Fatalf("TDMA replications should agree exactly; CI half-width = %v", st.SteadyCI.HalfWidth)
+	}
+}
+
+func TestReplicationStudyPanicsOnOneSeed(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("single seed did not panic")
+		}
+	}()
+	vanetsim.RunReplications(vanetsim.Trial1(), []uint64{1})
+}

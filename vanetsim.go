@@ -1,0 +1,182 @@
+// Package vanetsim reproduces "Simulation and Analysis of Extended Brake
+// Lights for Inter-Vehicle Communication Networks" (Watson, Pellerito,
+// Gladden, Fu; ICDCS 2007) as a self-contained discrete-event simulator:
+// an ns-2-class wireless stack (two-ray-ground PHY, TDMA and 802.11 DCF
+// MACs, AODV routing, one-way TCP) under the paper's two-platoon
+// intersection scenario, plus the analysis machinery that regenerates
+// every figure and table of its evaluation.
+//
+// Quick start:
+//
+//	result := vanetsim.RunTrial(vanetsim.Trial1())
+//	fmt.Println(vanetsim.DelayTable(result))
+//
+// The three paper trials are Trial1 (TDMA, 1,000-byte packets), Trial2
+// (TDMA, 500 bytes) and Trial3 (802.11, 1,000 bytes). Figures are
+// regenerated with the Fig* helpers and rendered with Figure.ASCII or
+// exported as CSV.
+package vanetsim
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"vanetsim/internal/ebl"
+	"vanetsim/internal/scenario"
+	"vanetsim/internal/sim"
+)
+
+// MACType selects the medium-access protocol for a trial.
+type MACType = scenario.MACType
+
+// MAC types.
+const (
+	MACTDMA  = scenario.MACTDMA
+	MAC80211 = scenario.MAC80211
+)
+
+// QueueType selects the interface-queue flavour for a trial.
+type QueueType = scenario.QueueType
+
+// Queue types.
+const (
+	QueueDropTail = scenario.QueueDropTail
+	QueuePri      = scenario.QueuePri
+	QueueRED      = scenario.QueueRED
+)
+
+// TrialConfig configures a run of the paper's intersection scenario.
+type TrialConfig = scenario.TrialConfig
+
+// TrialResult carries a completed trial's measurements.
+type TrialResult = scenario.TrialResult
+
+// PlatoonResult is one platoon's view of a trial.
+type PlatoonResult = scenario.PlatoonResult
+
+// Trial1 returns the paper's base configuration: TDMA, 1,000-byte packets.
+func Trial1() TrialConfig { return scenario.Trial1() }
+
+// Trial2 returns the packet-size variation: TDMA, 500-byte packets.
+func Trial2() TrialConfig { return scenario.Trial2() }
+
+// Trial3 returns the MAC variation: 802.11, 1,000-byte packets.
+func Trial3() TrialConfig { return scenario.Trial3() }
+
+// RunTrial executes the scenario under cfg.
+func RunTrial(cfg TrialConfig) *TrialResult { return scenario.RunTrial(cfg) }
+
+// HighwayConfig configures the extension scenario: an N-vehicle highway
+// platoon whose lead brakes hard and whose followers react only to the
+// EBL radio indication.
+type HighwayConfig = scenario.HighwayConfig
+
+// HighwayResult carries a completed highway run's outcomes.
+type HighwayResult = scenario.HighwayResult
+
+// BrakeIndication is one follower's outcome in a highway run.
+type BrakeIndication = scenario.BrakeIndication
+
+// DefaultHighway returns a 50-mph emergency-braking configuration with n
+// vehicles on the given MAC.
+func DefaultHighway(mac MACType, n int) HighwayConfig { return scenario.DefaultHighway(mac, n) }
+
+// RunHighway executes the highway emergency-braking scenario.
+func RunHighway(cfg HighwayConfig) *HighwayResult { return scenario.RunHighway(cfg) }
+
+// JammingConfig configures the denial-of-service experiment: a stopped
+// platoon exchanging EBL status datagrams while an attacker floods the
+// radio channel (the 802.11-vs-TDMA/FHSS security trade-off the paper's
+// §III.E raises).
+type JammingConfig = scenario.JammingConfig
+
+// JammingResult carries a completed attack run's outcomes.
+type JammingResult = scenario.JammingResult
+
+// JamFlowResult is one flow's outcome under attack.
+type JamFlowResult = scenario.JamFlowResult
+
+// DefaultJamming returns a 3-vehicle run with a continuous single-channel
+// jammer starting at t = 10 s.
+func DefaultJamming(mac MACType) JammingConfig { return scenario.DefaultJamming(mac) }
+
+// RunJamming executes the denial-of-service experiment.
+func RunJamming(cfg JammingConfig) *JammingResult { return scenario.RunJamming(cfg) }
+
+// StoppingAnalysis is the §III.E stopping-distance feasibility result.
+type StoppingAnalysis = ebl.StoppingAnalysis
+
+// AnalyzeStopping runs the stopping-distance analysis with an explicit
+// braking model and driver reaction time.
+func AnalyzeStopping(initialDelay sim.Time, speedMS, separationM, decel float64, reaction sim.Time) StoppingAnalysis {
+	return ebl.Analyze(initialDelay, speedMS, separationM, decel, reaction)
+}
+
+// PaperStoppingAnalysis runs the paper's published arithmetic: 22.4 m/s,
+// 25 m separation, distance covered during the initial packet's flight.
+func PaperStoppingAnalysis(initialDelay sim.Time) StoppingAnalysis {
+	return ebl.PaperAnalysis(initialDelay)
+}
+
+// MPHToMS converts miles per hour to metres per second.
+func MPHToMS(mph float64) float64 { return ebl.MPHToMS(mph) }
+
+// BrakingModel parameterises the feasibility-envelope analysis (brake
+// condition, driver reaction, safety margin — the factors the paper's
+// §III.E lists as deciding whether the warning suffices).
+type BrakingModel = ebl.BrakingModel
+
+// EnvelopeRow is one speed's minimum-safe-gap verdict for both MACs.
+type EnvelopeRow = ebl.EnvelopeRow
+
+// DefaultBrakingModel returns dry-road braking with a 0.7 s reaction.
+func DefaultBrakingModel() BrakingModel { return ebl.DefaultBrakingModel() }
+
+// FeasibilityEnvelope sweeps speeds and reports the minimum safe following
+// gap per MAC given each MAC's measured initial-packet indication delay.
+func FeasibilityEnvelope(model BrakingModel, delayTDMA, delay80211 sim.Time, speedsMS []float64) []EnvelopeRow {
+	return ebl.FeasibilityEnvelope(model, delayTDMA, delay80211, speedsMS)
+}
+
+// FormatEnvelopeTable renders envelope rows as an aligned text table.
+func FormatEnvelopeTable(rows []EnvelopeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %8s | %12s %10s | %12s %10s\n",
+		"v (m/s)", "v (mph)", "TDMA gap(m)", "25m safe?", "802.11 gap(m)", "25m safe?")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8.1f %8.1f | %12.1f %10v | %12.1f %10v\n",
+			r.SpeedMS, r.SpeedMS/0.44704, r.MinGapTDMA, r.SafeAt25TDMA, r.MinGap80211, r.SafeAt2580211)
+	}
+	return b.String()
+}
+
+// Seconds converts a float64 second count into simulated time (for
+// TrialConfig.Duration overrides).
+func Seconds(s float64) sim.Time { return sim.Time(s) }
+
+// WriteTrace writes a trial's collected trace records (run with
+// CollectTrace set) to path in the ns-2-like line format that
+// cmd/ebltrace parses.
+func WriteTrace(path string, r *TrialResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("vanetsim: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range r.Trace {
+		if _, err := fmt.Fprintln(w, rec.Line()); err != nil {
+			f.Close()
+			return fmt.Errorf("vanetsim: write trace: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("vanetsim: flush trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("vanetsim: close trace: %w", err)
+	}
+	return nil
+}
