@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test verify bench bench-obs fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the CI gate: compile everything, vet, and run the full test
+# suite under the race detector.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench regenerates the paper's evaluation as benchmark metrics.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# bench-obs measures the telemetry subsystem's overhead (instrumented vs
+# baseline trial 1).
+bench-obs:
+	$(GO) test -bench='BenchmarkTrial1(Baseline|Instrumented)$$' -benchmem -run='^$$' .
+
+# fuzz exercises the trace-line round trip for a short burst.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParseLine -fuzztime=30s ./internal/trace

@@ -2,9 +2,14 @@
 // all three trials, every in-text statistics table, the §III.E analyses,
 // and compact ASCII renderings of the figure shapes. Its output is the
 // source of the measured numbers in EXPERIMENTS.md.
+//
+//	eblreport                        # the full report
+//	eblreport -stats                 # plus per-trial telemetry summaries
+//	eblreport -stats-json report.ndjson  # machine-readable trial metrics
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -13,16 +18,40 @@ import (
 )
 
 func main() {
-	report(os.Stdout)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "eblreport:", err)
+		os.Exit(1)
+	}
 }
 
-func report(out io.Writer) {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("eblreport", flag.ContinueOnError)
+	var (
+		stats    = fs.Bool("stats", false, "append per-trial telemetry summaries to the report")
+		statsJSN = fs.String("stats-json", "", "write all trials' telemetry as NDJSON to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	return reportWith(out, *stats, *statsJSN)
+}
+
+// report writes the plain evaluation report (kept for tests and callers
+// that don't need telemetry).
+func report(out io.Writer) { _ = reportWith(out, false, "") }
+
+func reportWith(out io.Writer, stats bool, statsJSON string) error {
 	fmt.Fprintln(out, "Extended Brake Lights reproduction — full evaluation report")
 	fmt.Fprintln(out, "============================================================")
 
-	r1 := vanetsim.RunTrial(vanetsim.Trial1())
-	r2 := vanetsim.RunTrial(vanetsim.Trial2())
-	r3 := vanetsim.RunTrial(vanetsim.Trial3())
+	telemetry := stats || statsJSON != ""
+	runTrial := func(cfg vanetsim.TrialConfig) *vanetsim.TrialResult {
+		cfg.Telemetry = telemetry
+		return vanetsim.RunTrial(cfg)
+	}
+	r1 := runTrial(vanetsim.Trial1())
+	r2 := runTrial(vanetsim.Trial2())
+	r3 := runTrial(vanetsim.Trial3())
 	all := []*vanetsim.TrialResult{r1, r2, r3}
 
 	for _, r := range all {
@@ -77,4 +106,30 @@ func report(out io.Writer) {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, f.ASCII(70, 12))
 	}
+
+	if stats {
+		fmt.Fprintln(out, "\n--- Telemetry (per trial) ---")
+		for _, r := range all {
+			fmt.Fprintf(out, "\n%v:\n", r.Config.Name)
+			fmt.Fprint(out, r.Telemetry.FormatText())
+		}
+	}
+	if statsJSON != "" {
+		f, err := os.Create(statsJSON)
+		if err != nil {
+			return err
+		}
+		for _, r := range all {
+			if _, err := fmt.Fprintf(f, "{\"kind\":\"run\",\"trial\":%q}\n", r.Config.Name); err != nil {
+				f.Close()
+				return err
+			}
+			if err := r.Telemetry.NDJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		return f.Close()
+	}
+	return nil
 }

@@ -6,6 +6,11 @@
 //	eblsweep            # both sweeps with defaults
 //	eblsweep -safety    # only the safety matrix
 //	eblsweep -perf      # only the performance sweep
+//	eblsweep -stats     # add per-run telemetry to the progress lines
+//	eblsweep -stats-json runs.ndjson  # all runs' metrics, NDJSON
+//
+// Per-run progress lines go to stderr so the tables on stdout stay
+// machine-readable.
 package main
 
 import (
@@ -17,6 +22,10 @@ import (
 	"vanetsim"
 )
 
+// progress receives per-run progress lines; it is a variable so tests can
+// silence or capture it.
+var progress io.Writer = os.Stderr
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "eblsweep:", err)
@@ -24,28 +33,83 @@ func main() {
 	}
 }
 
+// sweepOpts carries the telemetry switches into the sweep loops.
+type sweepOpts struct {
+	stats bool      // per-run telemetry summaries on the progress stream
+	jsonW io.Writer // NDJSON sink for every run's snapshot (nil = off)
+}
+
+func (o sweepOpts) telemetry() bool { return o.stats || o.jsonW != nil }
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("eblsweep", flag.ContinueOnError)
 	var (
 		safetyOnly = fs.Bool("safety", false, "print only the safety matrix")
 		perfOnly   = fs.Bool("perf", false, "print only the performance sweep")
 		duration   = fs.Float64("duration", 80, "simulated seconds per run")
+		stats      = fs.Bool("stats", false, "add per-run telemetry to the progress lines")
+		statsJSN   = fs.String("stats-json", "", "append every run's telemetry as NDJSON to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts := sweepOpts{stats: *stats}
+	if *statsJSN != "" {
+		f, err := os.Create(*statsJSN)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts.jsonW = f
+	}
 	if !*perfOnly {
-		safetyMatrix(out, *duration)
+		if err := safetyMatrix(out, *duration, opts); err != nil {
+			return err
+		}
 	}
 	if !*safetyOnly {
-		perfSweep(out, *duration)
+		if err := perfSweep(out, *duration, opts); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
+// runOne executes one sweep point, reporting progress (and optionally
+// telemetry) on the progress stream.
+func runOne(sweep string, cfg vanetsim.TrialConfig, opts sweepOpts) (*vanetsim.TrialResult, error) {
+	cfg.Telemetry = opts.telemetry()
+	r := vanetsim.RunTrial(cfg)
+	line := fmt.Sprintf("eblsweep: %s mac=%v size=%d done (%.0f s sim)",
+		sweep, cfg.MAC, cfg.PacketSize, float64(cfg.Duration))
+	if t := r.Telemetry; t != nil {
+		if opts.stats {
+			events, _ := t.Counter("sched/events_executed")
+			drops, _ := t.Counter("ifq/dropped_total")
+			rtx, _ := t.Counter("tcp/retransmits")
+			wall, _ := t.Gauge("run/wall_seconds")
+			line += fmt.Sprintf(" — %d events, %d ifq drops, %d rtx, %.2fs wall",
+				events, drops, rtx, wall.Value)
+		}
+		if opts.jsonW != nil {
+			// A run-header line keys the metric lines that follow to this
+			// sweep point.
+			if _, err := fmt.Fprintf(opts.jsonW, "{\"kind\":\"run\",\"sweep\":%q,\"mac\":%q,\"packet\":%d}\n",
+				sweep, cfg.MAC.String(), cfg.PacketSize); err != nil {
+				return nil, err
+			}
+			if err := t.NDJSON(opts.jsonW); err != nil {
+				return nil, err
+			}
+		}
+	}
+	fmt.Fprintln(progress, line)
+	return r, nil
+}
+
 // safetyMatrix measures each MAC's indication delay once, then sweeps
 // speed × gap through the braking model.
-func safetyMatrix(out io.Writer, duration float64) {
+func safetyMatrix(out io.Writer, duration float64, opts sweepOpts) error {
 	fmt.Fprintln(out, "Safety matrix: can the trailing vehicle stop in time?")
 	fmt.Fprintln(out, "(7 m/s² braking, 0.7 s reaction, 5 m margin; measured indication delays)")
 
@@ -54,7 +118,10 @@ func safetyMatrix(out io.Writer, duration float64) {
 		cfg := vanetsim.Trial1()
 		cfg.MAC = mac
 		cfg.Duration = vanetsim.Seconds(duration)
-		r := vanetsim.RunTrial(cfg)
+		r, err := runOne("safety", cfg, opts)
+		if err != nil {
+			return err
+		}
 		first, _ := r.Platoon1.TrailingDelays().First()
 		delays[mac] = float64(first)
 		fmt.Fprintf(out, "  %v indication delay: %.4f s\n", mac, float64(first))
@@ -83,10 +150,11 @@ func safetyMatrix(out io.Writer, duration float64) {
 		}
 	}
 	fmt.Fprintln(out)
+	return nil
 }
 
 // perfSweep runs the MAC × packet-size grid and prints a CSV-ish table.
-func perfSweep(out io.Writer, duration float64) {
+func perfSweep(out io.Writer, duration float64, opts sweepOpts) error {
 	fmt.Fprintln(out, "Performance sweep: MAC x packet size")
 	fmt.Fprintf(out, "%-8s %6s %12s %12s %12s\n", "mac", "bytes", "avg_dly_s", "steady_s", "avg_mbps")
 	for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
@@ -95,7 +163,10 @@ func perfSweep(out io.Writer, duration float64) {
 			cfg.MAC = mac
 			cfg.PacketSize = size
 			cfg.Duration = vanetsim.Seconds(duration)
-			r := vanetsim.RunTrial(cfg)
+			r, err := runOne("perf", cfg, opts)
+			if err != nil {
+				return err
+			}
 			d := r.Platoon1.MiddleDelays()
 			_, steady := d.SteadyState()
 			tput := r.Platoon1.Throughput().Summary(cfg.Duration)
@@ -103,4 +174,5 @@ func perfSweep(out io.Writer, duration float64) {
 				mac, size, d.Summary().Mean, steady, tput.Mean)
 		}
 	}
+	return nil
 }

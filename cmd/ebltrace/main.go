@@ -13,7 +13,9 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
+	"vanetsim"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
 	"vanetsim/internal/trace"
@@ -29,11 +31,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ebltrace", flag.ContinueOnError)
 	bin := fs.Float64("bin", 0.5, "throughput bin width in seconds")
+	stats := fs.Bool("stats", false, "print a telemetry-style summary of the trace records")
+	statsJSN := fs.String("stats-json", "", "write the trace summary as NDJSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: ebltrace [-bin seconds] <trace-file>")
+		return fmt.Errorf("usage: ebltrace [-bin seconds] [-stats] [-stats-json path] <trace-file>")
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -45,6 +49,28 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "%d trace records\n\n", len(recs))
+
+	if *stats || *statsJSN != "" {
+		snap := traceSnapshot(recs)
+		if *statsJSN != "" {
+			jf, err := os.Create(*statsJSN)
+			if err != nil {
+				return err
+			}
+			if err := snap.NDJSON(jf); err != nil {
+				jf.Close()
+				return err
+			}
+			if err := jf.Close(); err != nil {
+				return err
+			}
+		}
+		if *stats {
+			fmt.Fprintln(out, "Trace telemetry:")
+			fmt.Fprint(out, snap.FormatText())
+			fmt.Fprintln(out)
+		}
+	}
 
 	delays := trace.OneWayDelays(recs)
 	keys := make([]trace.FlowKey, 0, len(delays))
@@ -86,6 +112,35 @@ func run(args []string, out io.Writer) error {
 			n, sm.Mean, sm.Min, sm.Max, ci.HalfWidth, ci.RelPrecision()*100)
 	}
 	return nil
+}
+
+// opNames maps trace ops to metric-name slugs.
+var opNames = map[trace.Op]string{
+	trace.Send: "send", trace.Recv: "recv", trace.Drop: "drop", trace.Forward: "forward",
+}
+
+// traceSnapshot summarises a trace as a telemetry snapshot: record counts
+// by operation × layer, drop reasons, packet types, and the covered time
+// span — the same shapes the live registry reports, recovered offline.
+func traceSnapshot(recs []trace.Record) *vanetsim.Telemetry {
+	reg := vanetsim.NewTelemetryRegistry()
+	reg.Counter("trace/records_total", "trace records parsed").Add(uint64(len(recs)))
+	for _, r := range recs {
+		op := opNames[r.Op]
+		if op == "" {
+			op = "other"
+		}
+		reg.Counter("trace/"+op+"_"+strings.ToLower(string(r.Layer)),
+			"trace records by operation and layer").Inc()
+		reg.Counter("trace/type_"+strings.ToLower(r.Type),
+			"trace records by packet type").Inc()
+		if r.Op == trace.Drop && r.Reason != "" {
+			reg.Counter("trace/drop_reason_"+strings.ToLower(r.Reason),
+				"drops by recorded reason").Inc()
+		}
+	}
+	reg.Gauge("trace/span_s", "time covered by the trace").Set(float64(lastTime(recs)))
+	return reg.Snapshot()
 }
 
 func lastTime(recs []trace.Record) sim.Time {

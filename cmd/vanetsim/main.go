@@ -9,6 +9,8 @@
 //	vanetsim -trial 2 -csv Fig10      # figure data as CSV on stdout
 //	vanetsim -trial 1 -trace t1.tr    # write an agent-level trace file
 //	vanetsim -mac 802.11 -packet 500  # a configuration the paper didn't run
+//	vanetsim -trial 3 -stats          # tables plus the telemetry summary
+//	vanetsim -trial 1 -stats-json m.ndjson  # machine-readable run report
 package main
 
 import (
@@ -40,6 +42,9 @@ func run(args []string, out io.Writer) error {
 		asciiFig = fs.String("ascii", "", "print one figure as an ASCII plot (Fig5..Fig15)")
 		traceOut = fs.String("trace", "", "write an agent-level trace file to this path")
 		animate  = fs.Bool("anim", false, "play an ASCII animation of vehicle motion (nam's role)")
+		stats    = fs.Bool("stats", false, "print the cross-layer telemetry summary after the run")
+		statsJSN = fs.String("stats-json", "", "write run telemetry as NDJSON to this path")
+		statsPrm = fs.String("stats-prom", "", "write run telemetry in Prometheus text format to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,11 +80,35 @@ func run(args []string, out io.Writer) error {
 		cfg.Seed = *seed
 	}
 	cfg.CollectTrace = *traceOut != ""
+	cfg.Telemetry = *stats || *statsJSN != "" || *statsPrm != ""
 	if *animate {
 		cfg.AnimInterval = 2 // seconds per frame
 	}
 
 	r := vanetsim.RunTrial(cfg)
+
+	// emitStats closes out every output mode: exporter files always, the
+	// text summary only on -stats.
+	emitStats := func() error {
+		if r.Telemetry == nil {
+			return nil
+		}
+		if *statsJSN != "" {
+			if err := writeSnapshot(*statsJSN, r.Telemetry.NDJSON); err != nil {
+				return err
+			}
+		}
+		if *statsPrm != "" {
+			if err := writeSnapshot(*statsPrm, r.Telemetry.Prometheus); err != nil {
+				return err
+			}
+		}
+		if *stats {
+			fmt.Fprintln(out, "\nTelemetry:")
+			fmt.Fprint(out, r.Telemetry.FormatText())
+		}
+		return nil
+	}
 
 	if *traceOut != "" {
 		if err := vanetsim.WriteTrace(*traceOut, r); err != nil {
@@ -94,7 +123,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprint(out, f.CSV())
-		return nil
+		return emitStats()
 	}
 	if *asciiFig != "" {
 		f, err := figureByName(r, *asciiFig)
@@ -102,7 +131,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprint(out, f.ASCII(70, 16))
-		return nil
+		return emitStats()
 	}
 
 	if *animate && r.Anim != nil {
@@ -111,7 +140,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprint(out, r.Anim.Legend())
-		return nil
+		return emitStats()
 	}
 
 	fmt.Fprintf(out, "%v — %s MAC, %d-byte packets, %.0f s simulated\n\n",
@@ -122,7 +151,20 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprint(out, vanetsim.FormatThroughputTable(vanetsim.ThroughputTable(r)))
 	fmt.Fprintln(out, "\nStopping-distance analysis (initial packet, platoon 1):")
 	fmt.Fprint(out, vanetsim.FormatStoppingTable(vanetsim.StoppingTable(r)))
-	return nil
+	return emitStats()
+}
+
+// writeSnapshot streams one telemetry export format to path.
+func writeSnapshot(path string, export func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // figureByName resolves "Fig5".."Fig15" against the trial the figure

@@ -75,7 +75,7 @@ func (r *Recorder) sample() {
 	for _, id := range r.order {
 		r.tracks[id] = append(r.tracks[id], Sample{T: now, Pos: r.posFns[id]()})
 	}
-	r.sched.Schedule(r.interval, r.sample)
+	r.sched.ScheduleKind(sim.KindObs, r.interval, r.sample)
 }
 
 // Nodes returns the tracked node IDs in registration order.

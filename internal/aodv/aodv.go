@@ -80,6 +80,10 @@ type Stats struct {
 	RREPForwarded   int
 	RERRSent        int
 	HellosSent      int
+	RREQBytes       int // bytes of RREQ traffic offered to the stack
+	RREPBytes       int // bytes of RREP traffic offered to the stack
+	RERRBytes       int // bytes of RERR traffic offered to the stack
+	HelloBytes      int // bytes of hello traffic offered to the stack
 	DataForwarded   int
 	DataNoRoute     int // data dropped (or RERRed) for lack of a route
 	DataTTLExpired  int
@@ -146,7 +150,7 @@ func New(sched *sim.Scheduler, net *netlayer.Net, pf *packet.Factory, rng *sim.R
 	}
 	net.SetRouting(a)
 	if cfg.HelloInterval > 0 {
-		a.helloTimer = sched.Schedule(cfg.HelloInterval, a.onHelloTimer)
+		a.helloTimer = sched.ScheduleKind(sim.KindRouting, cfg.HelloInterval, a.onHelloTimer)
 	}
 	return a
 }
@@ -224,6 +228,7 @@ func (a *Agent) sendRREQ(dst packet.NodeID, d *discovery) {
 	}
 	a.seen[seenKey{a.id, a.bcastID}] = a.sched.Now() + a.cfg.BcastIDSave
 	p := a.pf.New(packet.TypeAODV, rreqSize, a.sched.Now())
+	a.stats.RREQBytes += rreqSize
 	p.IP = packet.IPHdr{
 		Src: a.id, Dst: packet.Broadcast,
 		SrcPort: aodvPort, DstPort: aodvPort,
@@ -233,7 +238,7 @@ func (a *Agent) sendRREQ(dst packet.NodeID, d *discovery) {
 	a.net.Send(p)
 
 	wait := 2 * sim.Time(float64(d.ttl)) * a.cfg.NodeTraversalTime
-	d.timer = a.sched.Schedule(wait, func() { a.onDiscoveryTimeout(dst) })
+	d.timer = a.sched.ScheduleKind(sim.KindRouting, wait, func() { a.onDiscoveryTimeout(dst) })
 }
 
 func (a *Agent) onDiscoveryTimeout(dst packet.NodeID) {
@@ -357,6 +362,7 @@ func (a *Agent) recvRREQ(p *packet.Packet, rq *RREQ) {
 		return
 	}
 	fwd := a.pf.New(packet.TypeAODV, rreqSize, now)
+	a.stats.RREQBytes += rreqSize
 	fwd.IP = packet.IPHdr{
 		Src: a.id, Dst: packet.Broadcast,
 		SrcPort: aodvPort, DstPort: aodvPort,
@@ -366,7 +372,7 @@ func (a *Agent) recvRREQ(p *packet.Packet, rq *RREQ) {
 	frq.HopCount++
 	fwd.Payload = &frq
 	a.stats.RREQForwarded++
-	a.sched.Schedule(a.rng.Duration(0, a.cfg.BroadcastJitter), func() {
+	a.sched.ScheduleKind(sim.KindRouting, a.rng.Duration(0, a.cfg.BroadcastJitter), func() {
 		a.net.Send(fwd)
 	})
 }
@@ -375,6 +381,7 @@ func (a *Agent) recvRREQ(p *packet.Packet, rq *RREQ) {
 func (a *Agent) sendRREP(origin, dst packet.NodeID, hops int, seq uint32, lifetime sim.Time, nextHop packet.NodeID) {
 	a.stats.RREPOriginated++
 	p := a.pf.New(packet.TypeAODV, rrepSize, a.sched.Now())
+	a.stats.RREPBytes += rrepSize
 	p.IP = packet.IPHdr{
 		Src: a.id, Dst: origin,
 		SrcPort: aodvPort, DstPort: aodvPort,
@@ -430,6 +437,7 @@ func (a *Agent) recvRREP(p *packet.Packet, rp *RREP) {
 		rr.Precursors[from] = true
 	}
 	fwd := a.pf.New(packet.TypeAODV, rrepSize, now)
+	a.stats.RREPBytes += rrepSize
 	fwd.IP = packet.IPHdr{
 		Src: a.id, Dst: rp.Origin,
 		SrcPort: aodvPort, DstPort: aodvPort,
@@ -473,6 +481,7 @@ func (a *Agent) sendRERR(dests []Unreachable) {
 	}
 	a.stats.RERRSent++
 	p := a.pf.New(packet.TypeAODV, rerrSize(len(dests)), a.sched.Now())
+	a.stats.RERRBytes += rerrSize(len(dests))
 	p.IP = packet.IPHdr{
 		Src: a.id, Dst: packet.Broadcast,
 		SrcPort: aodvPort, DstPort: aodvPort,
@@ -539,6 +548,7 @@ func (a *Agent) onHelloTimer() {
 	now := a.sched.Now()
 	a.stats.HellosSent++
 	p := a.pf.New(packet.TypeAODV, helloSize, now)
+	a.stats.HelloBytes += helloSize
 	p.IP = packet.IPHdr{
 		Src: a.id, Dst: packet.Broadcast,
 		SrcPort: aodvPort, DstPort: aodvPort,
@@ -553,7 +563,7 @@ func (a *Agent) onHelloTimer() {
 			a.linkBreak(n, nil)
 		}
 	}
-	a.helloTimer = a.sched.Schedule(a.cfg.HelloInterval, a.onHelloTimer)
+	a.helloTimer = a.sched.ScheduleKind(sim.KindRouting, a.cfg.HelloInterval, a.onHelloTimer)
 }
 
 // noteNeighbor records that we heard from a neighbour (hello bookkeeping).

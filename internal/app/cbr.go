@@ -76,7 +76,7 @@ func (c *CBR) tick() {
 	}
 	c.ticks++
 	c.tr.SendBytes(c.packetSize)
-	c.timer = c.sched.Schedule(c.interval, c.tick)
+	c.timer = c.sched.ScheduleKind(sim.KindApp, c.interval, c.tick)
 }
 
 // FTP is a greedy source: it keeps the transport's backlog effectively

@@ -14,6 +14,7 @@ import (
 	"vanetsim/internal/metrics"
 	"vanetsim/internal/mobility"
 	"vanetsim/internal/netlayer"
+	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
 	"vanetsim/internal/tcp"
@@ -36,6 +37,14 @@ type CommsConfig struct {
 	// ThroughputBin is the throughput sampling interval (the paper's
 	// record period).
 	ThroughputBin sim.Time
+	// Obs receives transport-layer telemetry (RTT samples) when non-nil.
+	Obs *obs.Registry
+}
+
+// RTTBuckets are the histogram bounds (seconds) for TCP round-trip
+// samples, matching the scenario layer's latency buckets.
+var RTTBuckets = []float64{
+	1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10, 30,
 }
 
 // DefaultCommsConfig returns the trial-1 configuration: 1,000-byte
@@ -106,11 +115,15 @@ func NewPlatoonComms(sched *sim.Scheduler, platoon *mobility.Platoon, nets []*ne
 		throughput: metrics.NewThroughput(cfg.ThroughputBin),
 		tracer:     tracer,
 	}
+	// Registry methods are nil-safe: rttHist is nil (and SetObs a no-op
+	// store) when telemetry is off.
+	rttHist := cfg.Obs.Histogram("tcp/rtt_s", "TCP round-trip time samples", RTTBuckets)
 	lead := platoon.Lead()
 	leadNet := nets[0]
 	for i, follower := range platoon.Followers() {
 		port := cfg.BasePort + 2*i
 		snd := tcp.NewSender(sched, leadNet, pf, port, follower.ID(), port+1, tcpCfg)
+		snd.SetObs(rttHist)
 		snk := tcp.NewSink(sched, nets[i+1], pf, port+1, tcpCfg)
 		snd.SetPayloadFn(statusSampler(sched, lead))
 		f := &Flow{

@@ -66,7 +66,7 @@ func New(id packet.NodeID, sched *sim.Scheduler, radio *phy.Radio, pf *packet.Fa
 	j := &Jammer{id: id, sched: sched, radio: radio, pf: pf, cfg: cfg, channel: cfg.Channel}
 	radio.SetMAC(j)
 	radio.SetFreqFn(func() int { return j.channel })
-	sched.At(maxTime(cfg.StartAt, sched.Now()), j.start)
+	sched.AtKind(sim.KindApp, maxTime(cfg.StartAt, sched.Now()), j.start)
 	return j
 }
 
@@ -105,7 +105,7 @@ func (j *Jammer) burst() {
 	j.bursts++
 	j.radio.Transmit(p, dur)
 	period := sim.Time(float64(dur) / j.cfg.DutyCycle)
-	j.sched.Schedule(period, j.burst)
+	j.sched.ScheduleKind(sim.KindApp, period, j.burst)
 }
 
 // RecvFromPhy implements phy.MAC: the jammer ignores all traffic.

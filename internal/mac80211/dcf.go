@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"vanetsim/internal/mac"
+	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/phy"
 	"vanetsim/internal/queue"
@@ -156,6 +157,13 @@ type MAC struct {
 	dedupFIFO []uint64
 
 	stats Stats
+
+	// Telemetry (nil-safe; see internal/obs). serviceStart stamps when the
+	// frame in service left the queue.
+	obsBackoffWait *obs.Histogram
+	obsRetries     *obs.Histogram
+	obsServiceTime *obs.Histogram
+	serviceStart   sim.Time
 }
 
 var _ mac.MAC = (*MAC)(nil)
@@ -186,6 +194,15 @@ func (m *MAC) ID() packet.NodeID { return m.id }
 // Stats returns the MAC counters.
 func (m *MAC) Stats() Stats { return m.stats }
 
+// SetObs wires telemetry instruments (each may be nil): completed backoff
+// stint durations, per-frame retry counts, and per-frame service time
+// (dequeue to success/drop).
+func (m *MAC) SetObs(backoffWait, retries, serviceTime *obs.Histogram) {
+	m.obsBackoffWait = backoffWait
+	m.obsRetries = retries
+	m.obsServiceTime = serviceTime
+}
+
 // Poke implements mac.MAC: takes the next frame from the interface queue
 // if none is in service and begins channel access.
 func (m *MAC) Poke() {
@@ -198,6 +215,7 @@ func (m *MAC) Poke() {
 	}
 	m.current = p
 	m.retries = 0
+	m.serviceStart = m.sched.Now()
 	m.startAccess()
 }
 
@@ -219,7 +237,7 @@ func (m *MAC) startAccess() {
 		return
 	}
 	m.phase = phaseDIFS
-	m.accessTimer = m.sched.Schedule(m.cfg.DIFS, m.onDifsEnd)
+	m.accessTimer = m.sched.ScheduleKind(sim.KindMAC, m.cfg.DIFS, m.onDifsEnd)
 }
 
 func (m *MAC) onDifsEnd() {
@@ -233,7 +251,7 @@ func (m *MAC) onDifsEnd() {
 		m.phase = phaseBackoff
 		m.backoffStart = m.sched.Now()
 		d := sim.Time(float64(m.backoffSlots)) * m.cfg.SlotTime
-		m.accessTimer = m.sched.Schedule(d, m.onBackoffEnd)
+		m.accessTimer = m.sched.ScheduleKind(sim.KindMAC, d, m.onBackoffEnd)
 		return
 	}
 	m.transmitData()
@@ -242,6 +260,7 @@ func (m *MAC) onDifsEnd() {
 func (m *MAC) onBackoffEnd() {
 	m.accessTimer = nil
 	m.backoffSlots = 0
+	m.obsBackoffWait.ObserveDuration(m.sched.Now() - m.backoffStart)
 	if !m.mediumFree() {
 		m.phase = phaseNone
 		m.armNavTimer()
@@ -287,14 +306,14 @@ func (m *MAC) transmitDataFrame(p *packet.Packet, broadcast bool) {
 	// Schedule our end-of-transmission bookkeeping *before* the radio's
 	// own tx-end event so that the ChannelIdle callback the radio emits at
 	// the same instant sees txBusy already cleared.
-	m.sched.Schedule(dur, func() {
+	m.sched.ScheduleKind(sim.KindMAC, dur, func() {
 		m.txBusy = false
 		if broadcast {
 			m.finishCurrent(true)
 			return
 		}
 		m.waitingAck = true
-		m.ackTimer = m.sched.Schedule(m.cfg.AckTimeout(), m.onAckTimeout)
+		m.ackTimer = m.sched.ScheduleKind(sim.KindMAC, m.cfg.AckTimeout(), m.onAckTimeout)
 	})
 	m.radio.Transmit(p, dur)
 }
@@ -313,10 +332,10 @@ func (m *MAC) transmitRTS(p *packet.Packet) {
 	dur := m.cfg.RTSTxTime()
 	m.stats.TxRTS++
 	m.txBusy = true
-	m.sched.Schedule(dur, func() {
+	m.sched.ScheduleKind(sim.KindMAC, dur, func() {
 		m.txBusy = false
 		m.waitingCTS = true
-		m.ctsTimer = m.sched.Schedule(m.cfg.CTSTimeout(), m.onCtsTimeout)
+		m.ctsTimer = m.sched.ScheduleKind(sim.KindMAC, m.cfg.CTSTimeout(), m.onCtsTimeout)
 	})
 	m.radio.Transmit(rts, dur)
 }
@@ -361,6 +380,8 @@ func (m *MAC) onAckTimeout() {
 func (m *MAC) finishCurrent(ok bool) {
 	p := m.current
 	m.current = nil
+	m.obsRetries.Observe(float64(m.retries))
+	m.obsServiceTime.ObserveDuration(m.sched.Now() - m.serviceStart)
 	m.retries = 0
 	if ok {
 		m.cw = m.cfg.CWMin
@@ -432,7 +453,7 @@ func (m *MAC) RecvFromPhy(p *packet.Packet, corrupted bool) {
 // the channel.
 func (m *MAC) scheduleAck(data *packet.Packet) {
 	to := data.Mac.Src
-	m.pendingAck = m.sched.Schedule(m.cfg.SIFS, func() {
+	m.pendingAck = m.sched.ScheduleKind(sim.KindMAC, m.cfg.SIFS, func() {
 		m.pendingAck = nil
 		if m.txBusy {
 			return // pathological overlap; drop the ACK, sender retries
@@ -444,7 +465,7 @@ func (m *MAC) scheduleAck(data *packet.Packet) {
 		dur := m.cfg.AckTxTime()
 		// As in transmitData: clear txBusy before the radio's same-instant
 		// ChannelIdle so a deferred access can resume.
-		m.sched.Schedule(dur, func() { m.txBusy = false })
+		m.sched.ScheduleKind(sim.KindMAC, dur, func() { m.txBusy = false })
 		m.radio.Transmit(ack, dur)
 	})
 }
@@ -456,7 +477,7 @@ func (m *MAC) scheduleCTS(rts *packet.Packet) {
 	if navGrant < 0 {
 		navGrant = 0
 	}
-	m.sched.Schedule(m.cfg.SIFS, func() {
+	m.sched.ScheduleKind(sim.KindMAC, m.cfg.SIFS, func() {
 		if m.txBusy {
 			return // pathological overlap; RTS sender times out and retries
 		}
@@ -465,7 +486,7 @@ func (m *MAC) scheduleCTS(rts *packet.Packet) {
 		m.stats.TxCTS++
 		m.txBusy = true
 		dur := m.cfg.CTSTxTime()
-		m.sched.Schedule(dur, func() { m.txBusy = false })
+		m.sched.ScheduleKind(sim.KindMAC, dur, func() { m.txBusy = false })
 		m.radio.Transmit(cts, dur)
 	})
 }
@@ -473,7 +494,7 @@ func (m *MAC) scheduleCTS(rts *packet.Packet) {
 // sendDataAfterCTS transmits the reserved data frame one SIFS after the
 // CTS arrived.
 func (m *MAC) sendDataAfterCTS() {
-	m.sched.Schedule(m.cfg.SIFS, func() {
+	m.sched.ScheduleKind(sim.KindMAC, m.cfg.SIFS, func() {
 		p := m.current
 		if p == nil || m.txBusy {
 			return
@@ -541,7 +562,7 @@ func (m *MAC) armNavTimer() {
 		m.navTimer.Cancel()
 	}
 	until := m.navUntil
-	m.navTimer = m.sched.At(until, func() {
+	m.navTimer = m.sched.AtKind(sim.KindMAC, until, func() {
 		m.navTimer = nil
 		m.startAccess()
 	})

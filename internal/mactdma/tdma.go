@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"vanetsim/internal/mac"
+	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/phy"
 	"vanetsim/internal/queue"
@@ -187,6 +188,11 @@ type MAC struct {
 
 	slotTimer *sim.Timer
 	stats     Stats
+
+	// Telemetry (nil-safe; see internal/obs). waitFrom stamps when the
+	// head-of-line frame began waiting for our slot.
+	obsSlotWait *obs.Histogram
+	waitFrom    sim.Time
 }
 
 var _ mac.MAC = (*MAC)(nil)
@@ -218,6 +224,11 @@ func (m *MAC) ID() packet.NodeID { return m.id }
 // Stats returns the MAC counters.
 func (m *MAC) Stats() Stats { return m.stats }
 
+// SetObs wires the slot-wait telemetry histogram (may be nil): time from a
+// head-of-line frame's wakeup being armed to its slot actually starting —
+// the "waiting for the assigned slot" component of TDMA's delay.
+func (m *MAC) SetObs(slotWait *obs.Histogram) { m.obsSlotWait = slotWait }
+
 // Poke implements mac.MAC: arms the next own-slot wakeup if the queue has
 // work and no wakeup is pending.
 func (m *MAC) Poke() {
@@ -227,8 +238,9 @@ func (m *MAC) Poke() {
 	if m.ifq.Peek() == nil {
 		return
 	}
+	m.waitFrom = m.sched.Now()
 	start := m.schedule.NextSlotStart(m.id, m.sched.Now())
-	m.slotTimer = m.sched.At(start, m.onSlot)
+	m.slotTimer = m.sched.AtKind(sim.KindMAC, start, m.onSlot)
 }
 
 // onSlot fires at the start of this node's slot.
@@ -239,6 +251,7 @@ func (m *MAC) onSlot() {
 		m.stats.IdleSlots++
 		return
 	}
+	m.obsSlotWait.ObserveDuration(m.sched.Now() - m.waitFrom)
 	p.Mac.Src = m.id
 	p.Mac.Dst = p.IP.NextHop
 	p.Mac.Subtype = packet.MacData
@@ -247,7 +260,7 @@ func (m *MAC) onSlot() {
 	m.stats.TxData++
 	// TDMA has no acknowledgements: the transmission is reported
 	// successful when it leaves the antenna, as in ns-2's Mac/Tdma.
-	m.sched.Schedule(dur, func() {
+	m.sched.ScheduleKind(sim.KindMAC, dur, func() {
 		m.up.MacTxDone(p, true)
 		m.Poke()
 	})

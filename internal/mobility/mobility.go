@@ -195,7 +195,7 @@ func (v *Vehicle) SetDest(dest geom.Vec2, speed float64) {
 	v.pushSegment(segment{start: now, pos: cur, vel: dir.Scale(speed)})
 	v.setPhase(Moving)
 	travel := sim.Time(dist / speed)
-	v.pending = v.sched.Schedule(travel, func() {
+	v.pending = v.sched.ScheduleKind(sim.KindMobility, travel, func() {
 		v.pending = nil
 		v.pushSegment(segment{start: v.sched.Now(), pos: dest})
 		v.setPhase(Stopped)
@@ -222,7 +222,7 @@ func (v *Vehicle) Brake(decel float64) {
 	v.pushSegment(segment{start: now, pos: cur, vel: vel, acc: dir.Scale(-decel)})
 	v.setPhase(Braking)
 	stopIn := sim.Time(speed / decel)
-	v.pending = v.sched.Schedule(stopIn, func() {
+	v.pending = v.sched.ScheduleKind(sim.KindMobility, stopIn, func() {
 		v.pending = nil
 		stopPos := cur.Add(dir.Scale(speed * speed / (2 * decel)))
 		v.pushSegment(segment{start: v.sched.Now(), pos: stopPos})

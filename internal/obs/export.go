@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is an immutable, export-ready copy of a registry's state, taken
+// at the end of a run. A nil snapshot formats as empty output from every
+// exporter, so callers can pass result.Telemetry through unconditionally.
+type Snapshot struct {
+	Counters   []CounterSnap
+	Gauges     []GaugeSnap
+	Histograms []HistogramSnap
+	Series     []SeriesSnap
+}
+
+// CounterSnap is one counter's final state.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge's final state.
+type GaugeSnap struct {
+	Name      string  `json:"name"`
+	Help      string  `json:"help,omitempty"`
+	Value     float64 `json:"value"`
+	HighWater float64 `json:"high_water"`
+}
+
+// HistogramSnap is one histogram's final state.
+type HistogramSnap struct {
+	Name   string    `json:"name"`
+	Help   string    `json:"help,omitempty"`
+	Bounds []float64 `json:"bounds"` // bucket upper bounds
+	Counts []uint64  `json:"counts"` // len(Bounds)+1, last is overflow
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Mean   float64   `json:"mean"`
+	P50    float64   `json:"p50"`
+	P99    float64   `json:"p99"`
+}
+
+// SeriesSnap is one time-binned series' final state.
+type SeriesSnap struct {
+	Name     string    `json:"name"`
+	Help     string    `json:"help,omitempty"`
+	BinWidth float64   `json:"bin_width_s"`
+	Sums     []float64 `json:"sums"`
+	Counts   []uint64  `json:"counts"`
+}
+
+// Snapshot copies the registry's current state. A nil (disabled) registry
+// snapshots to nil.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{}
+	for _, c := range r.counters {
+		s.Counters = append(s.Counters, CounterSnap{Name: c.name, Help: c.help, Value: c.v})
+	}
+	for _, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: g.name, Help: g.help, Value: g.v, HighWater: g.hwm})
+	}
+	for _, h := range r.hists {
+		hs := HistogramSnap{
+			Name:   h.name,
+			Help:   h.help,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+			Count:  h.n,
+			Sum:    h.sum,
+			Mean:   h.Mean(),
+			P50:    h.Quantile(0.50),
+			P99:    h.Quantile(0.99),
+		}
+		if h.n > 0 {
+			hs.Min, hs.Max = h.min, h.max
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	for _, sr := range r.series {
+		s.Series = append(s.Series, SeriesSnap{
+			Name:     sr.name,
+			Help:     sr.help,
+			BinWidth: float64(sr.bin),
+			Sums:     append([]float64(nil), sr.sums...),
+			Counts:   append([]uint64(nil), sr.ns...),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Series, func(i, j int) bool { return s.Series[i].Name < s.Series[j].Name })
+	return s
+}
+
+// FormatText renders the snapshot as an aligned text summary table, one
+// metric per line, grouped by instrument kind.
+func (s *Snapshot) FormatText() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(&b, "%-36s %14s\n", "counter", "value")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "%-36s %14d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(&b, "%-36s %14s %14s\n", "gauge", "value", "high-water")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&b, "%-36s %14.4f %14.4f\n", g.Name, g.Value, g.HighWater)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(&b, "%-36s %10s %12s %12s %12s %12s %12s\n",
+			"histogram", "n", "mean", "p50", "p99", "min", "max")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&b, "%-36s %10d %12.6f %12.6f %12.6f %12.6f %12.6f\n",
+				h.Name, h.Count, h.Mean, h.P50, h.P99, h.Min, h.Max)
+		}
+	}
+	if len(s.Series) > 0 {
+		fmt.Fprintf(&b, "%-36s %8s %10s %14s\n", "series", "bins", "bin(s)", "total")
+		for _, sr := range s.Series {
+			total := 0.0
+			for _, v := range sr.Sums {
+				total += v
+			}
+			fmt.Fprintf(&b, "%-36s %8d %10.2f %14.4f\n", sr.Name, len(sr.Sums), sr.BinWidth, total)
+		}
+	}
+	return b.String()
+}
+
+// ndjsonRecord wraps a metric with its instrument kind for NDJSON export.
+type ndjsonRecord struct {
+	Kind   string `json:"kind"`
+	Metric any    `json:"metric"`
+}
+
+// NDJSON writes the snapshot as newline-delimited JSON, one metric per
+// line, in deterministic (kind, name) order.
+func (s *Snapshot) NDJSON(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, c := range s.Counters {
+		if err := enc.Encode(ndjsonRecord{Kind: "counter", Metric: c}); err != nil {
+			return fmt.Errorf("obs: ndjson: %w", err)
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := enc.Encode(ndjsonRecord{Kind: "gauge", Metric: g}); err != nil {
+			return fmt.Errorf("obs: ndjson: %w", err)
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := enc.Encode(ndjsonRecord{Kind: "histogram", Metric: h}); err != nil {
+			return fmt.Errorf("obs: ndjson: %w", err)
+		}
+	}
+	for _, sr := range s.Series {
+		if err := enc.Encode(ndjsonRecord{Kind: "series", Metric: sr}); err != nil {
+			return fmt.Errorf("obs: ndjson: %w", err)
+		}
+	}
+	return nil
+}
+
+// promName converts a dotted metric name to Prometheus exposition syntax.
+func promName(name string) string {
+	return strings.NewReplacer(".", "_", "-", "_", "/", "_").Replace(name)
+}
+
+// Prometheus writes the snapshot in the Prometheus text exposition format:
+// counters and gauges directly, histograms with cumulative _bucket lines,
+// series as their per-bin sums on a "bin" label.
+func (s *Snapshot) Prometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		if c.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, c.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		if g.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, g.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", n, n, g.Value)
+		fmt.Fprintf(&b, "%s_high_water %g\n", n, g.HighWater)
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		if h.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, h.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%g", h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", n, h.Sum, n, h.Count)
+	}
+	for _, sr := range s.Series {
+		n := promName(sr.Name)
+		if sr.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, sr.Help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", n)
+		for i, v := range sr.Sums {
+			fmt.Fprintf(&b, "%s{bin=\"%g\"} %g\n", n, float64(i)*sr.BinWidth, v)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	if err != nil {
+		return fmt.Errorf("obs: prometheus: %w", err)
+	}
+	return nil
+}
+
+// Counter returns the named counter's value and whether it exists.
+func (s *Snapshot) Counter(name string) (uint64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the named gauge snapshot and whether it exists.
+func (s *Snapshot) Gauge(name string) (GaugeSnap, bool) {
+	if s == nil {
+		return GaugeSnap{}, false
+	}
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GaugeSnap{}, false
+}
+
+// Histogram returns the named histogram snapshot and whether it exists.
+func (s *Snapshot) Histogram(name string) (HistogramSnap, bool) {
+	if s == nil {
+		return HistogramSnap{}, false
+	}
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}

@@ -1,0 +1,307 @@
+// Package obs is the simulator's cross-layer telemetry subsystem: a
+// registry of counters, gauges (with high-water marks), fixed-bucket
+// histograms, and time-binned series that every stack layer reports into.
+//
+// The design rule is zero overhead when disabled. A nil *Registry is the
+// "off" state: it hands out nil instruments, and every instrument method is
+// a nil-safe no-op, so instrumented code holds possibly-nil pointers and
+// calls them unconditionally — the cost of disabled telemetry is one nil
+// check per event, with no allocation and no branch on a config struct.
+//
+// Instrumentation must also be observation-only: nothing in this package
+// consumes simulator randomness or schedules events, so a run with
+// telemetry enabled produces byte-identical traces and figures to the same
+// run with telemetry disabled (TestTelemetryDeterminism enforces this).
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vanetsim/internal/sim"
+)
+
+// Registry owns one run's instruments, keyed by name. The zero value of
+// *Registry (nil) is the disabled state; NewRegistry returns an enabled
+// one. Registries are not safe for concurrent use; the simulator is
+// single-threaded.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	series   map[string]*Series
+}
+
+// NewRegistry returns an enabled, empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		series:   make(map[string]*Series),
+	}
+}
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+// Counter returns (creating if needed) the named counter, or nil when the
+// registry is disabled. Help is kept from the first registration.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge, or nil when
+// disabled.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// given bucket upper bounds (ascending), or nil when disabled. Bounds are
+// fixed at creation; a value above the last bound lands in the overflow
+// bucket.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Series returns (creating if needed) the named time-binned series with
+// the given bin width, or nil when disabled.
+func (r *Registry) Series(name, help string, bin sim.Time) *Series {
+	if r == nil {
+		return nil
+	}
+	if s, ok := r.series[name]; ok {
+		return s
+	}
+	if bin <= 0 {
+		panic(fmt.Sprintf("obs: series %q needs a positive bin width", name))
+	}
+	s := &Series{name: name, help: help, bin: bin}
+	r.series[name] = s
+	return s
+}
+
+// Counter is a monotonically increasing event count. All methods are
+// nil-safe no-ops on a nil receiver.
+type Counter struct {
+	name, help string
+	v          uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous level that also remembers its high-water
+// mark — the natural shape for queue occupancy and heap depth. All methods
+// are nil-safe no-ops on a nil receiver.
+type Gauge struct {
+	name, help string
+	v, hwm     float64
+	set        bool
+}
+
+// Set records the current level.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+	g.set = true
+	if v > g.hwm {
+		g.hwm = v
+	}
+}
+
+// Add shifts the current level by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.Set(g.v + d)
+}
+
+// Value returns the current level (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// HighWater returns the maximum level ever set (0 for nil or never-set).
+func (g *Gauge) HighWater() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.hwm
+}
+
+// Histogram accumulates a value distribution into fixed buckets, plus
+// exact sum/count/min/max. All methods are nil-safe no-ops on a nil
+// receiver.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // bucket upper bounds, ascending
+	counts     []uint64  // len(bounds)+1; last is overflow
+	sum        float64
+	n          uint64
+	min, max   float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// ObserveDuration records a simulated duration in seconds.
+func (h *Histogram) ObserveDuration(d sim.Time) { h.Observe(float64(d)) }
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the observation mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile from the
+// bucket counts (the bound of the bucket the quantile falls in; +Inf for
+// the overflow bucket, clamped to the observed max).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return math.Min(h.bounds[i], h.max)
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Series accumulates (time, value) observations into fixed-width time
+// bins, keeping per-bin sum and count so both totals and means can be
+// exported. All methods are nil-safe no-ops on a nil receiver.
+type Series struct {
+	name, help string
+	bin        sim.Time
+	sums       []float64
+	ns         []uint64
+}
+
+// Observe records value v at simulated time t.
+func (s *Series) Observe(t sim.Time, v float64) {
+	if s == nil {
+		return
+	}
+	if t < 0 {
+		t = 0
+	}
+	i := int(t / s.bin)
+	for len(s.sums) <= i {
+		s.sums = append(s.sums, 0)
+		s.ns = append(s.ns, 0)
+	}
+	s.sums[i] += v
+	s.ns[i]++
+}
+
+// Bins returns the number of populated bins (trailing empty bins
+// included).
+func (s *Series) Bins() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.sums)
+}

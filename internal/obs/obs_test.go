@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsDisabledAndSafe(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", []float64{1, 2})
+	s := r.Series("w", "", 1)
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatal("nil registry handed out live instruments")
+	}
+	// All of these must be no-ops, not panics.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(1.5)
+	h.ObserveDuration(2)
+	s.Observe(10, 1)
+	if c.Value() != 0 || g.Value() != 0 || g.HighWater() != 0 || h.Count() != 0 || h.Mean() != 0 || s.Bins() != 0 {
+		t.Fatal("nil instruments reported non-zero state")
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	var snap *Snapshot
+	if snap.FormatText() != "" {
+		t.Fatal("nil snapshot formats non-empty")
+	}
+	if err := snap.NDJSON(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Prometheus(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events", "total events")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("events", "other help"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3)
+	g.Add(4)
+	g.Set(2)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v, want 2", g.Value())
+	}
+	if g.HighWater() != 7 {
+		t.Fatalf("high water = %v, want 7", g.HighWater())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	snap, ok := r.Snapshot().Histogram("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	wantCounts := []uint64{1, 2, 1, 1}
+	for i, w := range wantCounts {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+	if snap.Min != 0.0005 || snap.Max != 5 {
+		t.Fatalf("min/max = %v/%v", snap.Min, snap.Max)
+	}
+	// p50: rank 3 of 5 falls in the <= 0.01 bucket.
+	if got := h.Quantile(0.5); got != 0.01 {
+		t.Fatalf("p50 = %v, want 0.01", got)
+	}
+	// p99: rank 5 lands in the overflow bucket -> observed max.
+	if got := h.Quantile(0.99); got != 5 {
+		t.Fatalf("p99 = %v, want 5", got)
+	}
+}
+
+func TestHistogramBoundaryValueGoesToItsBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b", "", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: belongs to the <= 1 bucket
+	snap, _ := r.Snapshot().Histogram("b")
+	if snap.Counts[0] != 1 {
+		t.Fatalf("boundary value landed in %v", snap.Counts)
+	}
+}
+
+func TestSeriesBinning(t *testing.T) {
+	r := NewRegistry()
+	s := r.Series("occ", "occupancy", 2)
+	s.Observe(0.5, 10)
+	s.Observe(1.9, 20)
+	s.Observe(4.1, 5)
+	if s.Bins() != 3 {
+		t.Fatalf("bins = %d, want 3", s.Bins())
+	}
+	snap := r.Snapshot().Series[0]
+	if snap.Sums[0] != 30 || snap.Counts[0] != 2 {
+		t.Fatalf("bin 0 = %v/%v", snap.Sums[0], snap.Counts[0])
+	}
+	if snap.Sums[1] != 0 || snap.Sums[2] != 5 {
+		t.Fatalf("sums = %v", snap.Sums)
+	}
+}
+
+func TestExporters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("phy.tx_frames", "frames transmitted").Add(42)
+	g := r.Gauge("ifq.occupancy", "queue depth")
+	g.Set(7)
+	g.Set(3)
+	h := r.Histogram("tcp.rtt_s", "round trip", []float64{0.01, 0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	s := r.Series("sched.events_per_s", "event rate", 1)
+	s.Observe(0.1, 100)
+	snap := r.Snapshot()
+
+	text := snap.FormatText()
+	for _, want := range []string{"phy.tx_frames", "42", "ifq.occupancy", "7.0000", "tcp.rtt_s", "sched.events_per_s"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text export missing %q:\n%s", want, text)
+		}
+	}
+
+	var nb strings.Builder
+	if err := snap.NDJSON(&nb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(nb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("ndjson lines = %d, want 4:\n%s", len(lines), nb.String())
+	}
+	if !strings.Contains(lines[0], `"kind":"counter"`) || !strings.Contains(lines[0], "phy.tx_frames") {
+		t.Fatalf("ndjson first line = %s", lines[0])
+	}
+
+	var pb strings.Builder
+	if err := snap.Prometheus(&pb); err != nil {
+		t.Fatal(err)
+	}
+	prom := pb.String()
+	for _, want := range []string{
+		"# TYPE phy_tx_frames counter", "phy_tx_frames 42",
+		"ifq_occupancy_high_water 7",
+		"# TYPE tcp_rtt_s histogram", `tcp_rtt_s_bucket{le="+Inf"} 2`,
+		"tcp_rtt_s_count 2",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prometheus export missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a", "").Add(1)
+	r.Gauge("b", "").Set(2)
+	snap := r.Snapshot()
+	if v, ok := snap.Counter("a"); !ok || v != 1 {
+		t.Fatalf("Counter lookup = %v, %v", v, ok)
+	}
+	if g, ok := snap.Gauge("b"); !ok || g.Value != 2 {
+		t.Fatalf("Gauge lookup = %v, %v", g, ok)
+	}
+	if _, ok := snap.Counter("missing"); ok {
+		t.Fatal("missing counter found")
+	}
+}

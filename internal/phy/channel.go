@@ -50,7 +50,7 @@ func (c *Channel) broadcast(src *Radio, p *packet.Packet, duration sim.Time) {
 		dst := dst
 		cp := p.Clone()
 		delay := sim.Time(srcPos.Dist(dst.pos()) / SpeedOfLight)
-		c.sched.Schedule(delay, func() {
+		c.sched.ScheduleKind(sim.KindPHY, delay, func() {
 			if dst.Freq() != txFreq {
 				return // tuned elsewhere: no energy seen
 			}

@@ -136,7 +136,7 @@ func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) {
 	r.stats.TxFrames++
 	r.extendBusy(r.sched.Now() + duration)
 	r.ch.broadcast(r, p, duration)
-	r.sched.Schedule(duration, func() {
+	r.sched.ScheduleKind(sim.KindPHY, duration, func() {
 		r.state = Idle
 		r.maybeIdle()
 	})
@@ -175,7 +175,7 @@ func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time)
 		rec := &reception{p: p, power: power, end: end}
 		r.rx = rec
 		r.state = Receiving
-		r.sched.Schedule(duration, func() { r.finishReception(rec) })
+		r.sched.ScheduleKind(sim.KindPHY, duration, func() { r.finishReception(rec) })
 	default:
 		// Overlap with the frame we are locked onto.
 		if r.rx.power >= power*r.Params.CaptureRatio {
@@ -197,7 +197,7 @@ func (r *Radio) arriveSINR(p *packet.Packet, power float64, duration sim.Time, e
 		rec := &reception{p: p, power: power, end: end, maxInterfW: r.interfW}
 		r.rx = rec
 		r.state = Receiving
-		r.sched.Schedule(duration, func() { r.finishReception(rec) })
+		r.sched.ScheduleKind(sim.KindPHY, duration, func() { r.finishReception(rec) })
 		return
 	}
 	switch {
@@ -216,7 +216,7 @@ func (r *Radio) addInterference(power float64, duration sim.Time) {
 	if r.rx != nil && r.interfW > r.rx.maxInterfW {
 		r.rx.maxInterfW = r.interfW
 	}
-	r.sched.Schedule(duration, func() {
+	r.sched.ScheduleKind(sim.KindPHY, duration, func() {
 		r.interfW -= power
 		if r.interfW < 0 {
 			r.interfW = 0 // floating-point drift floor
@@ -257,7 +257,7 @@ func (r *Radio) extendBusy(t sim.Time) {
 	if r.idleTimer != nil {
 		r.idleTimer.Cancel()
 	}
-	r.idleTimer = r.sched.At(t, func() {
+	r.idleTimer = r.sched.AtKind(sim.KindPHY, t, func() {
 		r.idleTimer = nil
 		r.maybeIdle()
 	})

@@ -1,0 +1,49 @@
+package queue
+
+import (
+	"vanetsim/internal/obs"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// Instrumented is a transparent telemetry decorator around any Queue: it
+// tracks occupancy (with its high-water mark), an enqueue counter, and a
+// time-binned occupancy series, then delegates every operation unchanged.
+// Wrap only when telemetry is enabled — an unwrapped queue pays nothing.
+type Instrumented struct {
+	Queue
+	sched     *sim.Scheduler
+	occupancy *obs.Gauge
+	enqueued  *obs.Counter
+	occSeries *obs.Series
+}
+
+// Instrument wraps q with telemetry instruments (any of which may be nil).
+func Instrument(q Queue, sched *sim.Scheduler, occupancy *obs.Gauge, enqueued *obs.Counter, occSeries *obs.Series) *Instrumented {
+	return &Instrumented{Queue: q, sched: sched, occupancy: occupancy, enqueued: enqueued, occSeries: occSeries}
+}
+
+// Enqueue implements Queue.
+func (iq *Instrumented) Enqueue(p *packet.Packet) bool {
+	ok := iq.Queue.Enqueue(p)
+	if ok {
+		iq.enqueued.Inc()
+	}
+	iq.observe()
+	return ok
+}
+
+// Dequeue implements Queue.
+func (iq *Instrumented) Dequeue() *packet.Packet {
+	p := iq.Queue.Dequeue()
+	if p != nil {
+		iq.observe()
+	}
+	return p
+}
+
+func (iq *Instrumented) observe() {
+	n := float64(iq.Queue.Len())
+	iq.occupancy.Set(n)
+	iq.occSeries.Observe(iq.sched.Now(), n)
+}

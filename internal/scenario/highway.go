@@ -1,10 +1,13 @@
 package scenario
 
 import (
+	"time"
+
 	"vanetsim/internal/ebl"
 	"vanetsim/internal/geom"
 	"vanetsim/internal/mobility"
 	"vanetsim/internal/netlayer"
+	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
 )
@@ -30,6 +33,7 @@ type HighwayConfig struct {
 	Duration    sim.Time
 	QueueCap    int
 	Seed        uint64
+	Telemetry   bool // collect a cross-layer metrics snapshot
 }
 
 // DefaultHighway returns a 50-mph, 25-m-spacing emergency-braking run
@@ -77,6 +81,8 @@ type HighwayResult struct {
 	Comms       *ebl.PlatoonComms
 	Indications []BrakeIndication
 	Collisions  int
+	// Telemetry is the metrics snapshot (nil unless Config.Telemetry).
+	Telemetry *obs.Snapshot
 }
 
 // RunHighway executes the emergency-braking scenario.
@@ -89,8 +95,12 @@ func RunHighway(cfg HighwayConfig) *HighwayResult {
 	if cfg.TDMARateBps > 0 {
 		stack.TDMA.DataRateBps = cfg.TDMARateBps
 	}
+	if cfg.Telemetry {
+		stack.Obs = obs.NewRegistry()
+	}
 	w := NewWorld(stack, cfg.Seed)
 	s := w.Sched
+	wallStart := time.Now()
 
 	// Long straight road along +x; start far enough back that the run
 	// fits entirely at positive coordinates.
@@ -104,6 +114,7 @@ func RunHighway(cfg HighwayConfig) *HighwayResult {
 	c := ebl.DefaultCommsConfig()
 	c.PacketSize = cfg.PacketSize
 	c.RateBps = cfg.RateBps
+	c.Obs = stack.Obs
 	comms := ebl.NewPlatoonComms(s, p, nets, w.PF, c, nil)
 
 	// Follower reaction: brake on the first indication after BrakeAt.
@@ -150,5 +161,6 @@ func RunHighway(cfg HighwayConfig) *HighwayResult {
 		}
 		res.Indications = append(res.Indications, ind)
 	}
+	res.Telemetry = w.HarvestTelemetry(wallStart, comms)
 	return res
 }

@@ -1,12 +1,15 @@
 package scenario
 
 import (
+	"time"
+
 	"vanetsim/internal/app"
 	"vanetsim/internal/geom"
 	"vanetsim/internal/jammer"
 	"vanetsim/internal/mactdma"
 	"vanetsim/internal/metrics"
 	"vanetsim/internal/mobility"
+	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/phy"
 	"vanetsim/internal/sim"
@@ -30,6 +33,7 @@ type JammingConfig struct {
 	TDMARateBps float64
 	Duration    sim.Time
 	Seed        uint64
+	Telemetry   bool // collect a cross-layer metrics snapshot
 }
 
 // DefaultJamming returns a 3-vehicle, 60-second attack run: 1,000-byte
@@ -70,6 +74,8 @@ type JammingResult struct {
 	Flows  []JamFlowResult
 	// OverallDelivery is the total received/sent ratio across flows.
 	OverallDelivery float64
+	// Telemetry is the metrics snapshot (nil unless Config.Telemetry).
+	Telemetry *obs.Snapshot
 }
 
 // RunJamming executes the experiment.
@@ -81,8 +87,12 @@ func RunJamming(cfg JammingConfig) *JammingResult {
 	if cfg.TDMARateBps > 0 {
 		stack.TDMA.DataRateBps = cfg.TDMARateBps
 	}
+	if cfg.Telemetry {
+		stack.Obs = obs.NewRegistry()
+	}
 	w := NewWorld(stack, cfg.Seed)
 	s := w.Sched
+	wallStart := time.Now()
 	if cfg.MAC == MACTDMA && cfg.HopChannels > 1 {
 		w.TDMASchedule().SetHopping(mactdma.Hopping{Channels: cfg.HopChannels, Seed: cfg.HopSeed})
 	}
@@ -147,5 +157,6 @@ func RunJamming(cfg JammingConfig) *JammingResult {
 	if totalSent > 0 {
 		res.OverallDelivery = float64(totalRecv) / float64(totalSent)
 	}
+	res.Telemetry = w.HarvestTelemetry(wallStart)
 	return res
 }

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"time"
 
 	"vanetsim/internal/anim"
 	"vanetsim/internal/ebl"
@@ -9,6 +10,7 @@ import (
 	"vanetsim/internal/metrics"
 	"vanetsim/internal/mobility"
 	"vanetsim/internal/netlayer"
+	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
 	"vanetsim/internal/trace"
@@ -38,6 +40,10 @@ type TrialConfig struct {
 	Seed         uint64
 	SINRPhy      bool // aggregate-interference PHY instead of pairwise capture
 	CollectTrace bool // also record an agent-level trace
+	// Telemetry enables the cross-layer observability registry; the
+	// snapshot lands on TrialResult.Telemetry. Observation-only: the same
+	// seed yields identical traces and figures with it on or off.
+	Telemetry bool
 	// AnimInterval enables position recording (the Nam-animator role)
 	// with the given sample period; 0 disables it.
 	AnimInterval sim.Time
@@ -115,6 +121,9 @@ type TrialResult struct {
 	Platoon2 *PlatoonResult
 	Trace    []trace.Record // nil unless CollectTrace
 	Anim     *anim.Recorder // nil unless AnimInterval > 0
+	// Telemetry is the cross-layer metrics snapshot (nil unless
+	// Config.Telemetry).
+	Telemetry *obs.Snapshot
 }
 
 // RunTrial executes the paper's scenario under cfg and returns the
@@ -136,8 +145,12 @@ func RunTrial(cfg TrialConfig) *TrialResult {
 		stack.TDMA.DataRateBps = cfg.TDMARateBps
 	}
 	stack.Radio.SINRMode = cfg.SINRPhy
+	if cfg.Telemetry {
+		stack.Obs = obs.NewRegistry()
+	}
 	w := NewWorld(stack, cfg.Seed)
 	s := w.Sched
+	wallStart := time.Now()
 
 	// Platoon 1 approaches the intersection from the south in its own
 	// lane (x = 5 m), lead first.
@@ -174,6 +187,7 @@ func RunTrial(cfg TrialConfig) *TrialResult {
 		c.RateBps = cfg.RateBps
 		c.BasePort = basePort
 		c.ThroughputBin = cfg.ThroughputBn
+		c.Obs = stack.Obs
 		if cfg.TCPWindow > 0 {
 			c.TCP.MaxCwnd = cfg.TCPWindow
 		}
@@ -210,6 +224,7 @@ func RunTrial(cfg TrialConfig) *TrialResult {
 		res.Trace = tracer.Records()
 	}
 	res.Anim = rec
+	res.Telemetry = w.HarvestTelemetry(wallStart, comms1, comms2)
 	return res
 }
 

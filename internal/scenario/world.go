@@ -12,6 +12,7 @@ import (
 	"vanetsim/internal/mac80211"
 	"vanetsim/internal/mactdma"
 	"vanetsim/internal/netlayer"
+	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/phy"
 	"vanetsim/internal/queue"
@@ -61,6 +62,10 @@ type StackConfig struct {
 	TDMA     mactdma.Config
 	DCF      mac80211.Config
 	AODV     aodv.Config
+	// Obs receives cross-layer telemetry when non-nil. Instrumentation is
+	// observation-only: the same seed produces identical runs with it on
+	// or off.
+	Obs *obs.Registry
 }
 
 // DefaultStackConfig returns the paper's fixed parameters: drop-tail
@@ -101,9 +106,12 @@ type World struct {
 	PF      *packet.Factory
 	RNG     *sim.RNG
 	Nodes   []*Node
+	// Obs is the telemetry registry (nil when telemetry is disabled).
+	Obs *obs.Registry
 
 	cfg      StackConfig
 	schedule *mactdma.Schedule // TDMA worlds only
+	live     liveInstruments
 }
 
 // NewWorld creates an empty world with the given stack recipe and seed.
@@ -114,7 +122,9 @@ func NewWorld(cfg StackConfig, seed uint64) *World {
 		Channel: phy.NewChannel(s, cfg.Prop),
 		PF:      &packet.Factory{},
 		RNG:     sim.NewRNG(seed),
+		Obs:     cfg.Obs,
 		cfg:     cfg,
+		live:    newLiveInstruments(cfg.Obs, cfg.MAC),
 	}
 	if cfg.MAC == MACTDMA {
 		w.schedule = mactdma.NewSchedule(cfg.TDMA.SlotDuration())
@@ -143,13 +153,20 @@ func (w *World) AddNode(id packet.NodeID, pos phy.PositionFn) *Node {
 	default:
 		n.Ifq = queue.NewDropTail(w.cfg.QueueCap, nil)
 	}
+	if w.Obs.Enabled() {
+		// Transparent decorator: an unwrapped queue pays nothing when
+		// telemetry is off.
+		n.Ifq = queue.Instrument(n.Ifq, w.Sched, w.live.ifqOccupancy, w.live.ifqEnqueued, w.live.ifqOccSeries)
+	}
 	switch w.cfg.MAC {
 	case MACTDMA:
 		n.TDMA = mactdma.New(id, w.Sched, n.Radio, n.Ifq, n.Net, w.schedule, w.cfg.TDMA)
+		n.TDMA.SetObs(w.live.tdmaSlotWait)
 		n.MAC = n.TDMA
 	case MAC80211:
 		rng := w.RNG.Fork(fmt.Sprintf("mac80211-%d", id))
 		n.DCF = mac80211.New(id, w.Sched, n.Radio, n.Ifq, n.Net, w.PF, rng, w.cfg.DCF)
+		n.DCF.SetObs(w.live.dcfBackoffWait, w.live.dcfRetries, w.live.dcfService)
 		n.MAC = n.DCF
 	default:
 		panic(fmt.Sprintf("scenario: unknown MAC type %v", w.cfg.MAC))

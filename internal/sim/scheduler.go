@@ -42,24 +42,62 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", float64(t)) }
 // natural "no deadline" sentinel for RunUntil.
 const Forever = Time(math.MaxFloat64)
 
+// EventKind classifies a scheduled event by the stack layer that created
+// it, for scheduler profiling. Tagging is optional: events scheduled via
+// the plain Schedule/At are KindOther.
+type EventKind uint8
+
+// Event kinds, one per instrumented layer.
+const (
+	KindOther EventKind = iota
+	KindPHY
+	KindMAC
+	KindRouting
+	KindTransport
+	KindApp
+	KindMobility
+	KindObs // measurement/recording machinery (animation, samplers)
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"other", "phy", "mac", "routing", "transport", "app", "mobility", "obs",
+}
+
+// String returns the kind's profile label.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
 // Timer is a handle to a scheduled event. The zero value is not useful;
 // timers are created by Scheduler.Schedule and Scheduler.At.
 type Timer struct {
 	at       Time
 	seq      uint64
 	fn       func()
+	kind     EventKind
+	owner    *Scheduler
 	canceled bool
 	fired    bool
 	index    int // position in the heap, -1 once removed
 }
 
-// Cancel prevents the timer from firing. Cancelling an already-fired or
-// already-cancelled timer is a no-op. Cancel is O(log n).
+// Cancel prevents the timer from firing and removes it from the pending
+// heap immediately (O(log n) via the maintained heap index), so cancelled
+// timers do not linger until their deadline. Cancelling an already-fired
+// or already-cancelled timer is a no-op.
 func (t *Timer) Cancel() {
 	if t == nil || t.fired || t.canceled {
 		return
 	}
 	t.canceled = true
+	if t.owner != nil && t.index >= 0 {
+		heap.Remove(&t.owner.events, t.index)
+	}
 }
 
 // Active reports whether the timer is still pending (not fired, not
@@ -78,7 +116,9 @@ type Scheduler struct {
 	events  eventHeap
 	stopped bool
 
-	executed uint64 // number of events fired, for instrumentation
+	executed   uint64           // number of events fired, for instrumentation
+	byKind     [numKinds]uint64 // events fired, split by EventKind
+	maxPending int              // pending-heap high-water mark
 }
 
 // New returns a scheduler with its clock at zero.
@@ -90,8 +130,20 @@ func (s *Scheduler) Now() Time { return s.now }
 // Executed returns the number of events fired so far.
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
+// ExecutedByKind returns per-kind fired-event counts, indexed by
+// EventKind (length numKinds; use EventKind.String for labels).
+func (s *Scheduler) ExecutedByKind() []uint64 {
+	out := make([]uint64, numKinds)
+	copy(out, s.byKind[:])
+	return out
+}
+
 // Pending returns the number of events currently scheduled.
 func (s *Scheduler) Pending() int { return len(s.events) }
+
+// MaxPending returns the pending-heap high-water mark: the largest number
+// of simultaneously scheduled events seen so far.
+func (s *Scheduler) MaxPending() int { return s.maxPending }
 
 // Schedule runs fn after delay of simulated time and returns a cancellable
 // handle. A zero delay schedules fn at the current time, after all events
@@ -99,23 +151,36 @@ func (s *Scheduler) Pending() int { return len(s.events) }
 // negative delay or NaN: scheduling into the past is always a simulator
 // bug, and silently clamping it would hide causality violations.
 func (s *Scheduler) Schedule(delay Time, fn func()) *Timer {
+	return s.ScheduleKind(KindOther, delay, fn)
+}
+
+// ScheduleKind is Schedule with an EventKind tag for scheduler profiling.
+func (s *Scheduler) ScheduleKind(kind EventKind, delay Time, fn func()) *Timer {
 	if delay < 0 || math.IsNaN(float64(delay)) {
 		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", delay, s.now))
 	}
-	return s.At(s.now+delay, fn)
+	return s.AtKind(kind, s.now+delay, fn)
 }
 
 // At runs fn at absolute simulated time t. It panics if t is in the past.
 func (s *Scheduler) At(t Time, fn func()) *Timer {
+	return s.AtKind(KindOther, t, fn)
+}
+
+// AtKind is At with an EventKind tag for scheduler profiling.
+func (s *Scheduler) AtKind(kind EventKind, t Time, fn func()) *Timer {
 	if t < s.now || math.IsNaN(float64(t)) {
 		panic(fmt.Sprintf("sim: At(%v) is before now (%v)", t, s.now))
 	}
 	if fn == nil {
 		panic("sim: At with nil func")
 	}
-	tm := &Timer{at: t, seq: s.seq, fn: fn}
+	tm := &Timer{at: t, seq: s.seq, fn: fn, kind: kind, owner: s}
 	s.seq++
 	heap.Push(&s.events, tm)
+	if len(s.events) > s.maxPending {
+		s.maxPending = len(s.events)
+	}
 	return tm
 }
 
@@ -128,11 +193,13 @@ func (s *Scheduler) Step() bool {
 		}
 		tm := heap.Pop(&s.events).(*Timer)
 		if tm.canceled {
+			// Cancel removes timers eagerly; this guards any future lazy path.
 			continue
 		}
 		s.now = tm.at
 		tm.fired = true
 		s.executed++
+		s.byKind[tm.kind]++
 		tm.fn()
 		return true
 	}

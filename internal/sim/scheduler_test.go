@@ -271,3 +271,55 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 		s.Step()
 	}
 }
+
+func TestCancelRemovesFromHeap(t *testing.T) {
+	s := New()
+	var timers []*Timer
+	for i := 0; i < 8; i++ {
+		timers = append(timers, s.Schedule(Time(i+1), func() {}))
+	}
+	if s.Pending() != 8 {
+		t.Fatalf("Pending = %d, want 8", s.Pending())
+	}
+	timers[0].Cancel()
+	timers[3].Cancel()
+	timers[7].Cancel()
+	if s.Pending() != 5 {
+		t.Fatalf("Pending = %d after 3 cancels, want 5 (cancel must remove eagerly)", s.Pending())
+	}
+	s.Run()
+	if s.Executed() != 5 {
+		t.Fatalf("Executed = %d, want 5", s.Executed())
+	}
+}
+
+func TestExecutedByKind(t *testing.T) {
+	s := New()
+	s.ScheduleKind(KindMAC, 1, func() {})
+	s.ScheduleKind(KindMAC, 2, func() {})
+	s.ScheduleKind(KindPHY, 3, func() {})
+	s.AtKind(KindTransport, 4, func() {})
+	s.Schedule(5, func() {}) // untagged -> KindOther
+	s.Run()
+	by := s.ExecutedByKind()
+	if by[KindMAC] != 2 || by[KindPHY] != 1 || by[KindTransport] != 1 || by[KindOther] != 1 {
+		t.Fatalf("ExecutedByKind = %v", by)
+	}
+	if KindMAC.String() != "mac" || KindOther.String() != "other" {
+		t.Fatalf("kind names: %v %v", KindMAC, KindOther)
+	}
+}
+
+func TestMaxPending(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.Schedule(Time(i+1), func() {})
+	}
+	if s.MaxPending() != 5 {
+		t.Fatalf("MaxPending = %d, want 5", s.MaxPending())
+	}
+	s.Run()
+	if s.MaxPending() != 5 {
+		t.Fatalf("MaxPending after run = %d, want 5 (high-water, not current)", s.MaxPending())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"vanetsim/internal/netlayer"
+	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
 )
@@ -109,8 +110,13 @@ type Sender struct {
 	onSend    func(p *packet.Packet)
 	payloadFn func() packet.Payload
 
-	stats Stats
+	stats  Stats
+	obsRTT *obs.Histogram // nil-safe RTT sample telemetry
 }
+
+// SetObs wires the RTT-sample telemetry histogram (may be nil). Every
+// Karn-valid RTT sample is observed, in seconds.
+func (s *Sender) SetObs(rtt *obs.Histogram) { s.obsRTT = rtt }
 
 // OnSend registers an observer called for every transmitted segment,
 // including retransmissions — the trace collector's "s ... AGT" hook.
@@ -313,6 +319,7 @@ func (s *Sender) sampleRTT(rtt sim.Time) {
 	if rtt < 0 {
 		return
 	}
+	s.obsRTT.ObserveDuration(rtt)
 	if !s.rttSeeded {
 		s.srtt = rtt
 		s.rttvar = rtt / 2
@@ -349,12 +356,12 @@ func (s *Sender) armRtx() {
 	if s.rtxTimer != nil && s.rtxTimer.Active() {
 		return
 	}
-	s.rtxTimer = s.sched.Schedule(s.rto(), s.onTimeout)
+	s.rtxTimer = s.sched.ScheduleKind(sim.KindTransport, s.rto(), s.onTimeout)
 }
 
 func (s *Sender) restartRtx() {
 	s.cancelRtx()
-	s.rtxTimer = s.sched.Schedule(s.rto(), s.onTimeout)
+	s.rtxTimer = s.sched.ScheduleKind(sim.KindTransport, s.rto(), s.onTimeout)
 }
 
 func (s *Sender) cancelRtx() {

@@ -1,0 +1,46 @@
+package trace
+
+import "testing"
+
+// FuzzParseLine checks the Record ↔ line round trip: any line Parse
+// accepts must reserialize to a line Parse accepts again, and the second
+// pass must be a fixed point (identical record, or at worst an identical
+// line once float formatting has normalised the time field).
+func FuzzParseLine(f *testing.F) {
+	seeds := []Record{
+		// The documented example line.
+		{Op: Send, At: 12.000350, Node: 0, Layer: LayerAgent,
+			UID: 42, Type: "tcp", Size: 1040, Src: 0, SrcPt: 100, Dst: 1, DstPt: 200, Seq: 5},
+		// A drop with a reason.
+		{Op: Drop, At: 99.5, Node: 3, Layer: LayerIfq, Reason: "IFQ",
+			UID: 7, Type: "tcp", Size: 1040, Src: 0, SrcPt: 1000, Dst: 2, DstPt: 1001, Seq: 17},
+		// A sequence-less packet (Seq == -1, e.g. AODV control).
+		{Op: Recv, At: 0.003, Node: 1, Layer: LayerRouting,
+			UID: 9, Type: "AODV", Size: 48, Src: 4, SrcPt: 254, Dst: 5, DstPt: 254, Seq: -1},
+		// A MAC-layer forward.
+		{Op: Forward, At: 150.25, Node: 2, Layer: LayerMac,
+			UID: 1234, Type: "ack", Size: 40, Src: 1, SrcPt: 2001, Dst: 0, DstPt: 2000, Seq: 0},
+	}
+	for _, r := range seeds {
+		f.Add(r.Line())
+	}
+	f.Add("x 1.0 _0_ AGT --- 1 tcp 10 [0:1 1:2] 3") // bad op
+	f.Add("s 1.0 _0_ AGT --- 1 tcp 10 [0:1 1:2]")   // missing field
+
+	f.Fuzz(func(t *testing.T, line string) {
+		r1, err := Parse(line)
+		if err != nil {
+			return // invalid input: only well-formed lines must round-trip
+		}
+		line1 := r1.Line()
+		r2, err := Parse(line1)
+		if err != nil {
+			t.Fatalf("reserialized line does not parse: %v\nline: %q", err, line1)
+		}
+		// %.6f truncates sub-microsecond times, so the struct may differ
+		// after the first normalisation — but the line must then be stable.
+		if r1 != r2 && r2.Line() != line1 {
+			t.Fatalf("round trip not a fixed point:\n in: %#v\nout: %#v", r1, r2)
+		}
+	})
+}

@@ -163,6 +163,29 @@ func parseAddr(s string) (packet.NodeID, int, error) {
 	return packet.NodeID(h), p, nil
 }
 
+// writeLine writes one record in the trace-file line format. It is the
+// single line writer behind both Collector streaming and WriteAll, so the
+// on-disk format has exactly one producer.
+func writeLine(w io.Writer, r Record) error {
+	_, err := fmt.Fprintln(w, r.Line())
+	return err
+}
+
+// WriteAll writes records to w one line each, buffered — the inverse of
+// ReadAll.
+func WriteAll(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		if err := writeLine(bw, r); err != nil {
+			return fmt.Errorf("trace: write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: write: %w", err)
+	}
+	return nil
+}
+
 // Collector accumulates records in memory and optionally streams them to a
 // writer. The zero value collects in memory only.
 type Collector struct {
@@ -179,7 +202,7 @@ func NewCollector(w io.Writer) *Collector { return &Collector{w: w} }
 func (c *Collector) Add(r Record) {
 	c.recs = append(c.recs, r)
 	if c.w != nil && c.err == nil {
-		_, c.err = fmt.Fprintln(c.w, r.Line())
+		c.err = writeLine(c.w, r)
 	}
 }
 

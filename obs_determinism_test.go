@@ -1,0 +1,85 @@
+package vanetsim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"vanetsim"
+	"vanetsim/internal/trace"
+)
+
+// TestTelemetryDeterminism proves the telemetry subsystem is
+// observation-only: for both MACs, the same seed produces byte-identical
+// traces and figures whether telemetry is collected or not.
+func TestTelemetryDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  vanetsim.TrialConfig
+		fig  func(*vanetsim.TrialResult) vanetsim.Figure
+	}{
+		{"trial1-tdma", vanetsim.Trial1(), vanetsim.Fig5},
+		{"trial3-80211", vanetsim.Trial3(), vanetsim.Fig11},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := tc.cfg
+			base.Duration = vanetsim.Seconds(30)
+			base.CollectTrace = true
+
+			off := base
+			off.Telemetry = false
+			on := base
+			on.Telemetry = true
+
+			rOff := vanetsim.RunTrial(off)
+			rOn := vanetsim.RunTrial(on)
+
+			if rOff.Telemetry != nil {
+				t.Fatal("telemetry snapshot present with Telemetry off")
+			}
+			if rOn.Telemetry == nil {
+				t.Fatal("telemetry snapshot missing with Telemetry on")
+			}
+
+			var bOff, bOn bytes.Buffer
+			if err := trace.WriteAll(&bOff, rOff.Trace); err != nil {
+				t.Fatal(err)
+			}
+			if err := trace.WriteAll(&bOn, rOn.Trace); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bOff.Bytes(), bOn.Bytes()) {
+				t.Errorf("trace differs with telemetry on: %d vs %d bytes",
+					bOff.Len(), bOn.Len())
+			}
+
+			if csvOff, csvOn := tc.fig(rOff).CSV(), tc.fig(rOn).CSV(); csvOff != csvOn {
+				t.Error("figure CSV differs with telemetry on")
+			}
+			if tblOff, tblOn := vanetsim.FormatDelayTable(vanetsim.DelayTable(rOff)),
+				vanetsim.FormatDelayTable(vanetsim.DelayTable(rOn)); tblOff != tblOn {
+				t.Error("delay table differs with telemetry on")
+			}
+
+			// Snapshot sanity: the run produced traffic, so the harvested
+			// counters cannot be empty.
+			snap := rOn.Telemetry
+			if n, ok := snap.Counter("sched/events_executed"); !ok || n == 0 {
+				t.Errorf("sched/events_executed = %d, %v; want > 0", n, ok)
+			}
+			if n, ok := snap.Counter("phy/tx_frames"); !ok || n == 0 {
+				t.Errorf("phy/tx_frames = %d, %v; want > 0", n, ok)
+			}
+			if n, ok := snap.Counter("tcp/segments_sent"); !ok || n == 0 {
+				t.Errorf("tcp/segments_sent = %d, %v; want > 0", n, ok)
+			}
+			histName := "mac/tdma/slot_wait_s"
+			if base.MAC == vanetsim.MAC80211 {
+				histName = "mac/dcf/service_time_s"
+			}
+			if h, ok := snap.Histogram(histName); !ok || h.Count == 0 {
+				t.Errorf("%s count = %v, %v; want > 0", histName, h.Count, ok)
+			}
+		})
+	}
+}

@@ -18,14 +18,15 @@
 package vanetsim
 
 import (
-	"bufio"
 	"fmt"
 	"os"
 	"strings"
 
 	"vanetsim/internal/ebl"
+	"vanetsim/internal/obs"
 	"vanetsim/internal/scenario"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/trace"
 )
 
 // MACType selects the medium-access protocol for a trial.
@@ -164,19 +165,23 @@ func WriteTrace(path string, r *TrialResult) error {
 	if err != nil {
 		return fmt.Errorf("vanetsim: %w", err)
 	}
-	w := bufio.NewWriter(f)
-	for _, rec := range r.Trace {
-		if _, err := fmt.Fprintln(w, rec.Line()); err != nil {
-			f.Close()
-			return fmt.Errorf("vanetsim: write trace: %w", err)
-		}
-	}
-	if err := w.Flush(); err != nil {
+	if err := trace.WriteAll(f, r.Trace); err != nil {
 		f.Close()
-		return fmt.Errorf("vanetsim: flush trace: %w", err)
+		return fmt.Errorf("vanetsim: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("vanetsim: close trace: %w", err)
 	}
 	return nil
 }
+
+// Telemetry is a cross-layer metrics snapshot: counters, gauges with
+// high-water marks, latency histograms, and time series harvested from
+// every stack layer plus the scheduler. Enable collection with
+// TrialConfig.Telemetry (and the Highway/Jamming equivalents); render with
+// FormatText, NDJSON, or Prometheus.
+type Telemetry = obs.Snapshot
+
+// NewTelemetryRegistry returns a live registry for callers assembling
+// worlds directly through the scenario package.
+func NewTelemetryRegistry() *obs.Registry { return obs.NewRegistry() }
