@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-obs fuzz
+.PHONY: build test verify bench bench-obs bench-parallel fuzz
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,11 @@ bench:
 # baseline trial 1).
 bench-obs:
 	$(GO) test -bench='BenchmarkTrial1(Baseline|Instrumented)$$' -benchmem -run='^$$' .
+
+# bench-parallel measures the run engine's fan-out speedup on the
+# 16-point perf sweep (sequential vs one worker per CPU).
+bench-parallel:
+	$(GO) test -bench='BenchmarkParallelSweep16' -benchtime=2x -run='^$$' .
 
 # fuzz exercises the trace-line round trip for a short burst.
 fuzz:

@@ -163,7 +163,10 @@ func BenchmarkReplicationStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := vanetsim.Trial3()
 		cfg.Duration = vanetsim.Seconds(60)
-		st := vanetsim.RunReplications(cfg, []uint64{1, 2, 3, 4, 5})
+		st, err := vanetsim.RunReplications(cfg, []uint64{1, 2, 3, 4, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(st.TputCI.Mean, "tput_Mbps")
 		b.ReportMetric(st.TputCI.HalfWidth, "tput_ci95")
 		b.ReportMetric(st.DelayCI.Mean, "delay_s")

@@ -1,0 +1,77 @@
+// Parallel run-engine benchmarks and facade tests: the 16-point
+// MAC × packet-size performance sweep executed through the bounded
+// worker pool at increasing -j, demonstrating the fan-out speedup while
+// the determinism tests pin the results to the sequential baseline.
+package vanetsim_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"vanetsim"
+)
+
+// sweep16 is the 16-point perf grid: both MACs across eight packet
+// sizes (the cmd/eblsweep grid plus the sizes between its points).
+func sweep16(duration float64) []vanetsim.TrialConfig {
+	var cfgs []vanetsim.TrialConfig
+	for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
+		for _, size := range []int{250, 400, 500, 750, 1000, 1200, 1400, 1500} {
+			cfg := vanetsim.Trial1()
+			cfg.MAC = mac
+			cfg.PacketSize = size
+			cfg.Duration = vanetsim.Seconds(duration)
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+// TestRunTrialsMatchesSequential pins the facade's parallel entry point
+// to the sequential baseline: every pool size must reproduce RunTrial's
+// tables exactly.
+func TestRunTrialsMatchesSequential(t *testing.T) {
+	cfgs := sweep16(30)[:4] // one slice of the grid keeps the test fast
+	parallel := vanetsim.RunTrials(cfgs, 8)
+	if len(parallel) != len(cfgs) {
+		t.Fatalf("RunTrials returned %d results for %d configs", len(parallel), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		seq := vanetsim.RunTrial(cfg)
+		want := vanetsim.FormatDelayTable(vanetsim.DelayTable(seq))
+		got := vanetsim.FormatDelayTable(vanetsim.DelayTable(parallel[i]))
+		if want != got {
+			t.Errorf("config %d (%v): parallel delay table differs from sequential\n--- sequential\n%s--- parallel\n%s",
+				i, cfg, want, got)
+		}
+	}
+}
+
+// BenchmarkParallelSweep16 measures the run engine on the 16-point perf
+// sweep at -j 1 versus -j NumCPU (and -j 8 explicitly when the host has
+// more cores). On an 8-core host the pool target is ≥ 3× over
+// sequential; a single iteration runs all 16 simulations.
+func BenchmarkParallelSweep16(b *testing.B) {
+	jobs := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		jobs = append(jobs, n)
+		if n > 8 {
+			jobs = append(jobs, 8)
+		}
+	}
+	for _, j := range jobs {
+		j := j
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfgs := sweep16(40)
+				results := vanetsim.RunTrials(cfgs, j)
+				for _, r := range results {
+					if r == nil || r.Platoon1.MiddleDelays().Len() == 0 {
+						b.Fatal("sweep point produced no measurements")
+					}
+				}
+			}
+		})
+	}
+}

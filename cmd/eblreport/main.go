@@ -4,8 +4,13 @@
 // source of the measured numbers in EXPERIMENTS.md.
 //
 //	eblreport                        # the full report
+//	eblreport -j 4                   # fan independent runs across 4 workers
 //	eblreport -stats                 # plus per-trial telemetry summaries
 //	eblreport -stats-json report.ndjson  # machine-readable trial metrics
+//
+// The three trials and the replication study's seeded runs execute on a
+// bounded worker pool (-j, default one worker per CPU); results are
+// reduced in a fixed order, so the report is byte-identical at every -j.
 package main
 
 import (
@@ -27,32 +32,31 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("eblreport", flag.ContinueOnError)
 	var (
+		jobs     = fs.Int("j", 0, "concurrent simulation runs (0 = one per CPU); output is identical at every -j")
 		stats    = fs.Bool("stats", false, "append per-trial telemetry summaries to the report")
 		statsJSN = fs.String("stats-json", "", "write all trials' telemetry as NDJSON to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	return reportWith(out, *stats, *statsJSN)
+	return reportWith(out, *jobs, *stats, *statsJSN)
 }
 
 // report writes the plain evaluation report (kept for tests and callers
 // that don't need telemetry).
-func report(out io.Writer) { _ = reportWith(out, false, "") }
+func report(out io.Writer) { _ = reportWith(out, 0, false, "") }
 
-func reportWith(out io.Writer, stats bool, statsJSON string) error {
+func reportWith(out io.Writer, jobs int, stats bool, statsJSON string) error {
 	fmt.Fprintln(out, "Extended Brake Lights reproduction — full evaluation report")
 	fmt.Fprintln(out, "============================================================")
 
 	telemetry := stats || statsJSON != ""
-	runTrial := func(cfg vanetsim.TrialConfig) *vanetsim.TrialResult {
-		cfg.Telemetry = telemetry
-		return vanetsim.RunTrial(cfg)
+	cfgs := []vanetsim.TrialConfig{vanetsim.Trial1(), vanetsim.Trial2(), vanetsim.Trial3()}
+	for i := range cfgs {
+		cfgs[i].Telemetry = telemetry
 	}
-	r1 := runTrial(vanetsim.Trial1())
-	r2 := runTrial(vanetsim.Trial2())
-	r3 := runTrial(vanetsim.Trial3())
-	all := []*vanetsim.TrialResult{r1, r2, r3}
+	all := vanetsim.RunTrials(cfgs, jobs)
+	r1, r2, r3 := all[0], all[1], all[2]
 
 	for _, r := range all {
 		fmt.Fprintf(out, "\n--- %v: %v MAC, %d-byte packets ---\n",
@@ -95,7 +99,11 @@ func reportWith(out io.Writer, stats bool, statsJSON string) error {
 	fmt.Fprintln(out, "replications capture run-to-run variability too:")
 	repCfg := vanetsim.Trial3()
 	repCfg.Duration = vanetsim.Seconds(60)
-	fmt.Fprint(out, vanetsim.RunReplications(repCfg, []uint64{1, 2, 3, 4, 5}).String())
+	study, err := vanetsim.RunReplicationsPool(repCfg, []uint64{1, 2, 3, 4, 5}, vanetsim.Pool{Workers: jobs})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, study.String())
 
 	fmt.Fprintln(out, "\n--- Figure shapes (ASCII) ---")
 	for _, f := range []vanetsim.Figure{

@@ -6,25 +6,29 @@
 //	eblsweep            # both sweeps with defaults
 //	eblsweep -safety    # only the safety matrix
 //	eblsweep -perf      # only the performance sweep
+//	eblsweep -j 8       # fan runs across 8 workers (default: all CPUs)
 //	eblsweep -stats     # add per-run telemetry to the progress lines
-//	eblsweep -stats-json runs.ndjson  # all runs' metrics, NDJSON
+//	eblsweep -stats-json runs.ndjson  # append all runs' metrics, NDJSON
+//
+// Runs fan out across a bounded worker pool (-j), but all output is
+// reduced in submission order: stdout tables, the stderr progress
+// stream, and the NDJSON file are byte-identical at every -j, so
+// parallelism is purely a wall-clock win.
 //
 // Per-run progress lines go to stderr so the tables on stdout stay
 // machine-readable.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"vanetsim"
+	"vanetsim/internal/runner"
 )
-
-// progress receives per-run progress lines; it is a variable so tests can
-// silence or capture it.
-var progress io.Writer = os.Stderr
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -33,29 +37,48 @@ func main() {
 	}
 }
 
-// sweepOpts carries the telemetry switches into the sweep loops.
+// sweepOpts carries the run-engine and telemetry switches into the
+// sweep loops.
 type sweepOpts struct {
+	jobs  int       // worker-pool size; <= 0 means one worker per CPU
 	stats bool      // per-run telemetry summaries on the progress stream
 	jsonW io.Writer // NDJSON sink for every run's snapshot (nil = off)
+	// progress receives per-run progress lines (stderr by default; tests
+	// silence or capture it). Writes happen only from the pool's ordered
+	// reducer, wrapped in a SyncWriter so no other writer can interleave.
+	progress io.Writer
 }
 
 func (o sweepOpts) telemetry() bool { return o.stats || o.jsonW != nil }
 
 func run(args []string, out io.Writer) error {
+	return runWith(args, out, os.Stderr)
+}
+
+// runWith is run with an explicit progress sink, so tests can capture
+// or silence the per-run progress stream.
+func runWith(args []string, out, progress io.Writer) error {
 	fs := flag.NewFlagSet("eblsweep", flag.ContinueOnError)
 	var (
 		safetyOnly = fs.Bool("safety", false, "print only the safety matrix")
 		perfOnly   = fs.Bool("perf", false, "print only the performance sweep")
 		duration   = fs.Float64("duration", 80, "simulated seconds per run")
+		jobs       = fs.Int("j", 0, "concurrent simulation runs (0 = one per CPU); output is identical at every -j")
 		stats      = fs.Bool("stats", false, "add per-run telemetry to the progress lines")
 		statsJSN   = fs.String("stats-json", "", "append every run's telemetry as NDJSON to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := sweepOpts{stats: *stats}
+	opts := sweepOpts{
+		jobs:     *jobs,
+		stats:    *stats,
+		progress: runner.NewSyncWriter(progress),
+	}
 	if *statsJSN != "" {
-		f, err := os.Create(*statsJSN)
+		// Append, as documented: repeated invocations accumulate one
+		// NDJSON stream rather than clobbering the previous runs.
+		f, err := os.OpenFile(*statsJSN, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 		if err != nil {
 			return err
 		}
@@ -75,36 +98,72 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// runOne executes one sweep point, reporting progress (and optionally
-// telemetry) on the progress stream.
-func runOne(sweep string, cfg vanetsim.TrialConfig, opts sweepOpts) (*vanetsim.TrialResult, error) {
+// point is one sweep configuration queued for the run engine.
+type point struct {
+	sweep string
+	cfg   vanetsim.TrialConfig
+}
+
+// runOut is one finished run plus its rendered side-channel output,
+// buffered so the reducer can flush it in submission order.
+type runOut struct {
+	result   *vanetsim.TrialResult
+	progress string       // one progress line, without trailing newline
+	ndjson   bytes.Buffer // run-header + telemetry NDJSON block
+}
+
+// runPoint executes one sweep point and renders its progress line and
+// NDJSON block into buffers. It performs no I/O, so any number of
+// points can run concurrently.
+func runPoint(p point, opts sweepOpts) (*runOut, error) {
+	cfg := p.cfg
 	cfg.Telemetry = opts.telemetry()
-	r := vanetsim.RunTrial(cfg)
-	line := fmt.Sprintf("eblsweep: %s mac=%v size=%d done (%.0f s sim)",
-		sweep, cfg.MAC, cfg.PacketSize, float64(cfg.Duration))
-	if t := r.Telemetry; t != nil {
+	o := &runOut{result: vanetsim.RunTrial(cfg)}
+	o.progress = fmt.Sprintf("eblsweep: %s mac=%v size=%d done (%.0f s sim)",
+		p.sweep, cfg.MAC, cfg.PacketSize, float64(cfg.Duration))
+	if t := o.result.Telemetry; t != nil {
 		if opts.stats {
 			events, _ := t.Counter("sched/events_executed")
 			drops, _ := t.Counter("ifq/dropped_total")
 			rtx, _ := t.Counter("tcp/retransmits")
 			wall, _ := t.Gauge("run/wall_seconds")
-			line += fmt.Sprintf(" — %d events, %d ifq drops, %d rtx, %.2fs wall",
+			o.progress += fmt.Sprintf(" — %d events, %d ifq drops, %d rtx, %.2fs wall",
 				events, drops, rtx, wall.Value)
 		}
 		if opts.jsonW != nil {
 			// A run-header line keys the metric lines that follow to this
 			// sweep point.
-			if _, err := fmt.Fprintf(opts.jsonW, "{\"kind\":\"run\",\"sweep\":%q,\"mac\":%q,\"packet\":%d}\n",
-				sweep, cfg.MAC.String(), cfg.PacketSize); err != nil {
-				return nil, err
-			}
-			if err := t.NDJSON(opts.jsonW); err != nil {
+			fmt.Fprintf(&o.ndjson, "{\"kind\":\"run\",\"sweep\":%q,\"mac\":%q,\"packet\":%d}\n",
+				p.sweep, cfg.MAC.String(), cfg.PacketSize)
+			if err := t.NDJSON(&o.ndjson); err != nil {
 				return nil, err
 			}
 		}
 	}
-	fmt.Fprintln(progress, line)
-	return r, nil
+	return o, nil
+}
+
+// sweepAll fans points across the worker pool and reduces in submission
+// order: each run's progress line and NDJSON block are flushed, then
+// collect sees the result — exactly the byte stream a sequential loop
+// produced before the pool existed.
+func sweepAll(points []point, opts sweepOpts, collect func(i int, r *vanetsim.TrialResult) error) error {
+	pool := runner.Pool{Workers: opts.jobs}
+	return runner.Each(pool, len(points),
+		func(i int) (*runOut, error) { return runPoint(points[i], opts) },
+		func(i int, o *runOut) error {
+			if opts.progress != nil {
+				if _, err := fmt.Fprintln(opts.progress, o.progress); err != nil {
+					return err
+				}
+			}
+			if opts.jsonW != nil {
+				if _, err := opts.jsonW.Write(o.ndjson.Bytes()); err != nil {
+					return err
+				}
+			}
+			return collect(i, o.result)
+		})
 }
 
 // safetyMatrix measures each MAC's indication delay once, then sweeps
@@ -113,24 +172,36 @@ func safetyMatrix(out io.Writer, duration float64, opts sweepOpts) error {
 	fmt.Fprintln(out, "Safety matrix: can the trailing vehicle stop in time?")
 	fmt.Fprintln(out, "(7 m/s² braking, 0.7 s reaction, 5 m margin; measured indication delays)")
 
-	delays := map[vanetsim.MACType]float64{}
-	for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
+	macs := []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211}
+	points := make([]point, 0, len(macs))
+	for _, mac := range macs {
 		cfg := vanetsim.Trial1()
 		cfg.MAC = mac
 		cfg.Duration = vanetsim.Seconds(duration)
-		r, err := runOne("safety", cfg, opts)
-		if err != nil {
-			return err
+		points = append(points, point{sweep: "safety", cfg: cfg})
+	}
+	delays := map[vanetsim.MACType]float64{}
+	err := sweepAll(points, opts, func(i int, r *vanetsim.TrialResult) error {
+		mac := macs[i]
+		first, ok := r.Platoon1.TrailingDelays().First()
+		if !ok {
+			// No packet ever reached the trailing vehicle: there is no
+			// indication delay, and a matrix built on 0.0 s would claim
+			// every speed/gap combination safe. Refuse instead.
+			return fmt.Errorf("%v: trailing vehicle received no packet in %.0f s of simulation; cannot measure the indication delay (communication starts at t ≈ 20 s — use a longer -duration)", mac, duration)
 		}
-		first, _ := r.Platoon1.TrailingDelays().First()
 		delays[mac] = float64(first)
 		fmt.Fprintf(out, "  %v indication delay: %.4f s\n", mac, float64(first))
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	model := vanetsim.DefaultBrakingModel()
 	gaps := []float64{15, 20, 25, 30, 40, 50}
 	speeds := []float64{10, 15, 20, 22.4, 25, 30}
-	for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
+	for _, mac := range macs {
 		fmt.Fprintf(out, "\n%v — rows: speed (m/s), cols: gap (m); S = safe, X = crash\n      ", mac)
 		for _, g := range gaps {
 			fmt.Fprintf(out, "%5.0f", g)
@@ -157,22 +228,23 @@ func safetyMatrix(out io.Writer, duration float64, opts sweepOpts) error {
 func perfSweep(out io.Writer, duration float64, opts sweepOpts) error {
 	fmt.Fprintln(out, "Performance sweep: MAC x packet size")
 	fmt.Fprintf(out, "%-8s %6s %12s %12s %12s\n", "mac", "bytes", "avg_dly_s", "steady_s", "avg_mbps")
+	var points []point
 	for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
 		for _, size := range []int{250, 500, 1000, 1500} {
 			cfg := vanetsim.Trial1()
 			cfg.MAC = mac
 			cfg.PacketSize = size
 			cfg.Duration = vanetsim.Seconds(duration)
-			r, err := runOne("perf", cfg, opts)
-			if err != nil {
-				return err
-			}
-			d := r.Platoon1.MiddleDelays()
-			_, steady := d.SteadyState()
-			tput := r.Platoon1.Throughput().Summary(cfg.Duration)
-			fmt.Fprintf(out, "%-8v %6d %12.4f %12.4f %12.4f\n",
-				mac, size, d.Summary().Mean, steady, tput.Mean)
+			points = append(points, point{sweep: "perf", cfg: cfg})
 		}
 	}
-	return nil
+	return sweepAll(points, opts, func(i int, r *vanetsim.TrialResult) error {
+		cfg := points[i].cfg
+		d := r.Platoon1.MiddleDelays()
+		_, steady := d.SteadyState()
+		tput := r.Platoon1.Throughput().Summary(cfg.Duration)
+		fmt.Fprintf(out, "%-8v %6d %12.4f %12.4f %12.4f\n",
+			cfg.MAC, cfg.PacketSize, d.Summary().Mean, steady, tput.Mean)
+		return nil
+	})
 }

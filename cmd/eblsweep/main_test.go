@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -35,5 +39,101 @@ func TestPerfSweepOnly(t *testing.T) {
 	// 2 MACs x 4 sizes = 8 data rows.
 	if got := strings.Count(out, "\n") - 2; got != 8 {
 		t.Fatalf("perf sweep rows = %d, want 8", got)
+	}
+}
+
+// stripWallGauges removes the two host-clock NDJSON lines
+// (run/wall_seconds, run/wall_per_sim_s) — the only metrics that vary
+// between invocations even sequentially (see the determinism note in
+// README).
+func stripWallGauges(ndjson []byte) []byte {
+	var out [][]byte
+	for _, line := range bytes.Split(ndjson, []byte{'\n'}) {
+		if bytes.Contains(line, []byte(`"run/wall_`)) {
+			continue
+		}
+		out = append(out, line)
+	}
+	return bytes.Join(out, []byte{'\n'})
+}
+
+// TestParallelDeterminism is the tentpole's golden test: the full sweep
+// at -j 8 must produce byte-identical stdout, progress, and NDJSON to
+// -j 1 (NDJSON modulo the two wall-clock gauges, which differ between
+// ANY two invocations). CI runs this under -race with -count=2.
+func TestParallelDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	invoke := func(j string) (stdout, progress, ndjson []byte) {
+		t.Helper()
+		path := filepath.Join(dir, "runs-j"+j+".ndjson")
+		var out, prog bytes.Buffer
+		if err := runWith([]string{"-duration", "30", "-j", j, "-stats-json", path}, &out, &prog); err != nil {
+			t.Fatalf("-j %s: %v", j, err)
+		}
+		nd, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes(), prog.Bytes(), nd
+	}
+	seqOut, seqProg, seqND := invoke("1")
+	parOut, parProg, parND := invoke("8")
+
+	if !bytes.Equal(seqOut, parOut) {
+		t.Errorf("stdout differs between -j 1 and -j 8:\n--- j=1\n%s\n--- j=8\n%s", seqOut, parOut)
+	}
+	if !bytes.Equal(seqProg, parProg) {
+		t.Errorf("progress stream differs between -j 1 and -j 8:\n--- j=1\n%s\n--- j=8\n%s", seqProg, parProg)
+	}
+	if a, b := stripWallGauges(seqND), stripWallGauges(parND); !bytes.Equal(a, b) {
+		t.Errorf("NDJSON differs between -j 1 and -j 8 (%d vs %d bytes)", len(a), len(b))
+	}
+	if len(seqND) == 0 || !bytes.Contains(seqND, []byte(`"kind":"run"`)) {
+		t.Error("NDJSON stream missing run headers")
+	}
+}
+
+// TestStatsJSONAppends: the -stats-json help text promises append
+// semantics, so a second invocation must accumulate onto the first, not
+// clobber it.
+func TestStatsJSONAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.ndjson")
+	countRuns := func() int {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes.Count(b, []byte(`"kind":"run"`))
+	}
+	args := []string{"-safety", "-duration", "30", "-stats-json", path}
+	if err := runWith(args, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	first := countRuns()
+	if first == 0 {
+		t.Fatal("first invocation wrote no run records")
+	}
+	if err := runWith(args, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if got := countRuns(); got != 2*first {
+		t.Fatalf("after two invocations: %d run records, want %d (append, not truncate)", got, 2*first)
+	}
+}
+
+// TestSafetyMatrixRefusesMissingIndication: when no packet ever reaches
+// the trailing vehicle there is no indication delay; the sweep must
+// fail loudly instead of printing an all-safe matrix built on 0.0 s.
+func TestSafetyMatrixRefusesMissingIndication(t *testing.T) {
+	var out bytes.Buffer
+	err := runWith([]string{"-safety", "-duration", "0"}, &out, io.Discard)
+	if err == nil {
+		t.Fatalf("zero-duration safety matrix did not fail; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "no packet") {
+		t.Fatalf("error does not explain the missing sample: %v", err)
+	}
+	if strings.Contains(out.String(), "S = safe") {
+		t.Fatal("matrix was printed despite the missing indication delay")
 	}
 }

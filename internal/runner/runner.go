@@ -1,0 +1,184 @@
+// Package runner is the bounded worker-pool run engine behind every
+// multi-run workload in the repository: parameter sweeps, seeded
+// replication studies, and ablation grids all fan independent
+// simulation runs across cores through a Pool.
+//
+// The design constraint is determinism: a simulation batch must produce
+// byte-identical tables, NDJSON streams, and confidence intervals
+// whether it ran on one worker or sixteen. The pool therefore separates
+// *execution* (any completion order, bounded concurrency) from
+// *reduction* (strictly submission order, always on the calling
+// goroutine). Jobs run concurrently; their results are handed to the
+// caller's collector one at a time, in the order the jobs were
+// submitted, so any output written from the collector is identical to a
+// sequential run's.
+package runner
+
+import (
+	"io"
+	"runtime"
+	"sync"
+)
+
+// Pool bounds the number of simulation runs executing concurrently.
+// The zero value is ready to use and sizes itself to the machine.
+type Pool struct {
+	// Workers is the maximum number of jobs in flight at once.
+	// Zero or negative means runtime.GOMAXPROCS(0) — one worker per
+	// available CPU, the `-j` default of the cmd tools.
+	Workers int
+}
+
+// workers resolves the effective worker count for n jobs.
+func (p Pool) workers(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Each runs jobs 0..n-1 through the pool and reduces their results in
+// submission order: collect(i, v) is called exactly once per successful
+// job, for increasing i, never concurrently, on the calling goroutine.
+// A nil collect discards results.
+//
+// Errors preserve sequential semantics: the returned error is the one a
+// sequential loop would have hit first — the lowest-index job error (or
+// collect error), with collect never invoked for any later index.
+// In-flight jobs are allowed to finish, no new jobs start, and Each
+// returns after all workers have exited.
+//
+// Completed results awaiting their turn are buffered; in the worst case
+// (job 0 slowest) that is n-1 results, so keep per-job results small —
+// a pointer to the run's measurements, not the measurements' rendering.
+func Each[T any](p Pool, n int, job func(i int) (T, error), collect func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p.workers(n) == 1 {
+		// One worker degenerates to the plain loop the pool replaced.
+		for i := 0; i < n; i++ {
+			v, err := job(i)
+			if err != nil {
+				return err
+			}
+			if collect != nil {
+				if err := collect(i, v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	type result struct {
+		v   T
+		err error
+	}
+	var (
+		mu      sync.Mutex
+		ready   = sync.NewCond(&mu)
+		done    = make(map[int]result)
+		next    int  // next index to hand to a worker
+		stopped bool // reducer hit an error; stop dispatching
+		wg      sync.WaitGroup
+	)
+	for w := p.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if stopped || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				v, err := job(i)
+
+				mu.Lock()
+				done[i] = result{v, err}
+				ready.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+
+	var firstErr error
+	mu.Lock()
+	for i := 0; i < n && firstErr == nil; i++ {
+		for {
+			r, ok := done[i]
+			if ok {
+				delete(done, i)
+				if r.err != nil {
+					firstErr = r.err
+					stopped = true // stop dispatch promptly
+					break
+				}
+				if collect != nil {
+					// Release the lock while reducing so workers keep
+					// draining the remaining jobs.
+					mu.Unlock()
+					err := collect(i, r.v)
+					mu.Lock()
+					if err != nil {
+						firstErr = err
+						stopped = true
+					}
+				}
+				break
+			}
+			ready.Wait()
+		}
+	}
+	stopped = true
+	mu.Unlock()
+	wg.Wait()
+	return firstErr
+}
+
+// Map runs jobs 0..n-1 through the pool and returns their results in
+// submission order. On error it returns the lowest-index job's error
+// and a nil slice (sequential error semantics, as in Each).
+func Map[T any](p Pool, n int, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Each(p, n, job, func(i int, v T) error {
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SyncWriter serialises writes to an underlying writer, so diagnostics
+// emitted by concurrently running jobs cannot interleave mid-line. It
+// guarantees atomicity per Write call, not cross-job ordering — output
+// that must appear in submission order belongs in an Each collector,
+// which needs no lock at all.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w; a nil w yields a writer that discards.
+func NewSyncWriter(w io.Writer) *SyncWriter { return &SyncWriter{w: w} }
+
+// Write forwards p to the underlying writer under the lock.
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return len(p), nil
+	}
+	return s.w.Write(p)
+}

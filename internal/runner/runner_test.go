@@ -1,0 +1,240 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEachOrdersCollection proves the determinism contract: whatever
+// order jobs complete in, collect sees strictly increasing indices with
+// the matching values.
+func TestEachOrdersCollection(t *testing.T) {
+	const n = 500
+	for _, workers := range []int{1, 2, 8, 64, n + 7} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var got []int
+			err := Each(Pool{Workers: workers}, n,
+				func(i int) (int, error) { return i * i, nil },
+				func(i, v int) error {
+					if v != i*i {
+						t.Fatalf("collect(%d) = %d, want %d", i, v, i*i)
+					}
+					got = append(got, i)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != n {
+				t.Fatalf("collected %d results, want %d", len(got), n)
+			}
+			for i, idx := range got {
+				if idx != i {
+					t.Fatalf("collection order broken at position %d: got index %d", i, idx)
+				}
+			}
+		})
+	}
+}
+
+// TestEachMatchesSequentialBytes renders each job's result to a shared
+// buffer from the collector and requires byte equality with one worker —
+// the same property the eblsweep golden test asserts end to end.
+func TestEachMatchesSequentialBytes(t *testing.T) {
+	render := func(workers int) []byte {
+		var buf bytes.Buffer
+		err := Each(Pool{Workers: workers}, 97,
+			func(i int) (string, error) { return fmt.Sprintf("run %02d ok\n", i), nil },
+			func(i int, line string) error {
+				_, err := buf.WriteString(line)
+				return err
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq, par := render(1), render(16)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("parallel output differs from sequential:\nseq %d bytes\npar %d bytes", len(seq), len(par))
+	}
+}
+
+// TestEachLowestIndexErrorWins mirrors sequential error semantics: with
+// failures at indices 7 and 3, a sequential loop stops at 3 — so must
+// the pool, and no index ≥ 3 may reach collect.
+func TestEachLowestIndexErrorWins(t *testing.T) {
+	boom3 := errors.New("job 3 failed")
+	boom7 := errors.New("job 7 failed")
+	var maxCollected atomic.Int64
+	maxCollected.Store(-1)
+	err := Each(Pool{Workers: 8}, 32,
+		func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, boom3
+			case 7:
+				return 0, boom7
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			if int64(i) > maxCollected.Load() {
+				maxCollected.Store(int64(i))
+			}
+			return nil
+		})
+	if !errors.Is(err, boom3) {
+		t.Fatalf("err = %v, want job 3's error", err)
+	}
+	if m := maxCollected.Load(); m >= 3 {
+		t.Fatalf("collected index %d after the failing index 3", m)
+	}
+}
+
+// TestEachCollectErrorStops verifies a reducer error propagates and that
+// no later index reaches collect, without deadlocking in-flight workers.
+// (Workers that already grabbed jobs may finish them; only collection
+// stops immediately.)
+func TestEachCollectErrorStops(t *testing.T) {
+	stop := errors.New("reducer full")
+	var lastCollected atomic.Int64
+	lastCollected.Store(-1)
+	err := Each(Pool{Workers: 4}, 1000,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			lastCollected.Store(int64(i))
+			if i == 5 {
+				return stop
+			}
+			return nil
+		})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want collect error", err)
+	}
+	if n := lastCollected.Load(); n != 5 {
+		t.Fatalf("last collected index = %d, want 5", n)
+	}
+}
+
+// TestEachEmpty covers the degenerate sizes.
+func TestEachEmpty(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		called := false
+		err := Each(Pool{}, n,
+			func(i int) (int, error) { t.Fatal("job called"); return 0, nil },
+			func(i, v int) error { called = true; return nil })
+		if err != nil || called {
+			t.Fatalf("n=%d: err=%v called=%v", n, err, called)
+		}
+	}
+}
+
+// TestMap checks order and the all-or-nothing error contract.
+func TestMap(t *testing.T) {
+	out, err := Map(Pool{Workers: 8}, 64, func(i int) (int, error) { return 2 * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 2*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, 2*i)
+		}
+	}
+	boom := errors.New("boom")
+	out, err = Map(Pool{Workers: 8}, 64, func(i int) (int, error) {
+		if i == 10 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("Map error path: out=%v err=%v", out, err)
+	}
+}
+
+// TestPoolRaceHammer drives many overlapping Each invocations with
+// contended jobs and collectors; its real assertions come from running
+// the package under -race (the CI gate does, twice).
+func TestPoolRaceHammer(t *testing.T) {
+	var wg sync.WaitGroup
+	for round := 0; round < 8; round++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var shared int // reducer-owned: Each must serialise access
+			sums := make([]int, 256)
+			err := Each(Pool{Workers: 16}, len(sums),
+				func(i int) (int, error) {
+					s := 0
+					for k := 0; k <= i; k++ {
+						s += k
+					}
+					return s, nil
+				},
+				func(i, v int) error {
+					shared += v
+					sums[i] = v
+					return nil
+				})
+			if err != nil {
+				t.Error(err)
+			}
+			if shared == 0 || sums[255] != 255*256/2 {
+				t.Errorf("hammer round produced wrong sums: shared=%d last=%d", shared, sums[255])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSyncWriterAtomicWrites hammers a SyncWriter from many goroutines
+// and checks no line interleaves mid-write.
+func TestSyncWriterAtomicWrites(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewSyncWriter(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			line := bytes.Repeat([]byte{byte('a' + g)}, 63)
+			line = append(line, '\n')
+			for i := 0; i < 200; i++ {
+				if _, err := sw.Write(line); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, line := range bytes.Split(bytes.TrimSuffix(buf.Bytes(), []byte{'\n'}), []byte{'\n'}) {
+		if len(line) != 63 || bytes.Count(line, line[:1]) != 63 {
+			t.Fatalf("interleaved line %q", line)
+		}
+	}
+	if n, err := NewSyncWriter(nil).Write([]byte("x")); n != 1 || err != nil {
+		t.Fatalf("nil-sink write = %d, %v", n, err)
+	}
+}
+
+// BenchmarkEachOverhead measures the pool's dispatch cost per job with
+// trivial work — the floor under which parallelising a sweep cannot pay.
+func BenchmarkEachOverhead(b *testing.B) {
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = Each(Pool{Workers: w}, 64,
+					func(i int) (int, error) { return i, nil },
+					func(i, v int) error { return nil })
+			}
+		})
+	}
+}

@@ -217,6 +217,65 @@ func TestTQuantileInvalid(t *testing.T) {
 	}
 }
 
+// The next three tests pin the edge cases the parallel run reducer
+// leans on: a reduced batch can be a single sample, have a zero mean,
+// or carry NaN missing-sample markers (a replication whose trailing
+// vehicle never received a packet), and percentile interpolation must
+// stay in range at the sorted-array boundary.
+
+func TestPercentileInterpolationBoundary(t *testing.T) {
+	// Non-integer rank interpolates: rank = 0.75·3 = 2.25 → 3·0.75 + 4·0.25.
+	if got := Percentile([]float64{1, 2, 3, 4}, 75); !almost(got, 3.25, 1e-12) {
+		t.Fatalf("p75 = %v, want 3.25", got)
+	}
+	// The lo+1 == len guard: a single-element series hits it for every
+	// interior p, and must return that element rather than read past the
+	// end.
+	for _, p := range []float64{1, 50, 99.999} {
+		if got := Percentile([]float64{7}, p); got != 7 {
+			t.Fatalf("single-element p%v = %v, want 7", p, got)
+		}
+	}
+	// p at and beyond the clamps, on unsorted input.
+	xs := []float64{9, 1, 5}
+	if got := Percentile(xs, 100); got != 9 {
+		t.Fatalf("p100 = %v, want 9", got)
+	}
+	if got := Percentile(xs, -3); got != 1 {
+		t.Fatalf("p<0 = %v, want 1", got)
+	}
+	// A rank landing just shy of the last index must interpolate toward
+	// the maximum without overshooting it.
+	if got := Percentile([]float64{1, 2}, 99.9); got <= 1.99 || got > 2 {
+		t.Fatalf("p99.9 of {1,2} = %v, want in (1.99, 2]", got)
+	}
+}
+
+func TestMeanCISingleSampleShape(t *testing.T) {
+	ci := MeanCI([]float64{3.5}, 0.95)
+	if ci.Mean != 3.5 || ci.N != 1 || ci.Level != 0.95 {
+		t.Fatalf("single-sample CI = %+v", ci)
+	}
+	if !math.IsInf(ci.HalfWidth, 1) {
+		t.Fatalf("single-sample half-width = %v, want +Inf", ci.HalfWidth)
+	}
+	if ci := MeanCI(nil, 0.95); ci.N != 0 || !math.IsInf(ci.HalfWidth, 1) {
+		t.Fatalf("empty CI = %+v", ci)
+	}
+	// Zero mean from real samples: relative precision is undefined, so it
+	// must report +Inf, never divide to a finite nonsense value.
+	if ci := MeanCI([]float64{-1, 1}, 0.95); !math.IsInf(ci.RelPrecision(), 1) {
+		t.Fatalf("zero-mean rel precision = %v, want +Inf", ci.RelPrecision())
+	}
+}
+
+func TestMeanCIPropagatesNaN(t *testing.T) {
+	ci := MeanCI([]float64{math.NaN(), 1, 2}, 0.95)
+	if !math.IsNaN(ci.Mean) || !math.IsNaN(ci.HalfWidth) {
+		t.Fatalf("NaN sample must poison the CI, got %+v", ci)
+	}
+}
+
 func BenchmarkTQuantile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		TQuantile(0.975, 9)

@@ -2,8 +2,10 @@ package vanetsim
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
+	"vanetsim/internal/runner"
 	"vanetsim/internal/stats"
 )
 
@@ -12,7 +14,7 @@ type Replication struct {
 	Seed        uint64
 	AvgDelayS   float64 // platoon-1 middle-vehicle mean one-way delay
 	SteadyS     float64 // its steady-state level
-	FirstS      float64 // trailing vehicle's initial-packet delay
+	FirstS      float64 // trailing vehicle's initial-packet delay; NaN if it never received a packet
 	AvgTputMbps float64 // platoon-1 average throughput
 }
 
@@ -30,29 +32,49 @@ type ReplicationStudy struct {
 	TputCI   stats.CI
 }
 
-// RunReplications executes cfg once per seed and aggregates 95% CIs.
-// It panics if fewer than two seeds are given (no interval exists).
-func RunReplications(cfg TrialConfig, seeds []uint64) *ReplicationStudy {
+// RunReplications executes cfg once per seed — fanning the independent
+// runs across all CPUs — and aggregates 95% CIs. It returns an error if
+// fewer than two seeds are given (no interval exists).
+//
+// A run in which the trailing vehicle never receives a packet (for
+// example, a duration too short for communication to start) yields a NaN
+// FirstS, which propagates to FirstCI: an explicit missing-sample
+// signal, never a silent 0.0 s indication delay.
+func RunReplications(cfg TrialConfig, seeds []uint64) (*ReplicationStudy, error) {
+	return RunReplicationsPool(cfg, seeds, runner.Pool{})
+}
+
+// RunReplicationsPool is RunReplications on an explicit worker pool
+// (for callers threading a `-j` flag through). Results and CIs are
+// reduced in seed order, so every pool size produces identical output.
+func RunReplicationsPool(cfg TrialConfig, seeds []uint64, p runner.Pool) (*ReplicationStudy, error) {
 	if len(seeds) < 2 {
-		panic("vanetsim: replication study needs at least two seeds")
+		return nil, fmt.Errorf("vanetsim: replication study needs at least two seeds, got %d", len(seeds))
 	}
-	st := &ReplicationStudy{Config: cfg}
-	var delays, steadies, firsts, tputs []float64
-	for _, seed := range seeds {
+	runs, err := runner.Map(p, len(seeds), func(i int) (Replication, error) {
 		c := cfg
-		c.Seed = seed
+		c.Seed = seeds[i]
 		r := RunTrial(c)
 		d := r.Platoon1.MiddleDelays()
 		_, steady := d.SteadyState()
-		first, _ := r.Platoon1.TrailingDelays().First()
-		rep := Replication{
-			Seed:        seed,
+		firstS := math.NaN()
+		if first, ok := r.Platoon1.TrailingDelays().First(); ok {
+			firstS = float64(first)
+		}
+		return Replication{
+			Seed:        seeds[i],
 			AvgDelayS:   d.Summary().Mean,
 			SteadyS:     steady,
-			FirstS:      float64(first),
+			FirstS:      firstS,
 			AvgTputMbps: r.Platoon1.Throughput().Summary(c.Duration).Mean,
-		}
-		st.Runs = append(st.Runs, rep)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := &ReplicationStudy{Config: cfg, Runs: runs}
+	var delays, steadies, firsts, tputs []float64
+	for _, rep := range runs {
 		delays = append(delays, rep.AvgDelayS)
 		steadies = append(steadies, rep.SteadyS)
 		firsts = append(firsts, rep.FirstS)
@@ -63,7 +85,7 @@ func RunReplications(cfg TrialConfig, seeds []uint64) *ReplicationStudy {
 	st.SteadyCI = stats.MeanCI(steadies, level)
 	st.FirstCI = stats.MeanCI(firsts, level)
 	st.TputCI = stats.MeanCI(tputs, level)
-	return st
+	return st, nil
 }
 
 // String renders the study as a compact report.

@@ -11,7 +11,10 @@ import (
 func TestReplicationStudy80211(t *testing.T) {
 	cfg := vanetsim.Trial3()
 	cfg.Duration = vanetsim.Seconds(60)
-	st := vanetsim.RunReplications(cfg, []uint64{1, 2, 3, 4})
+	st, err := vanetsim.RunReplications(cfg, []uint64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(st.Runs) != 4 {
 		t.Fatalf("runs = %d", len(st.Runs))
 	}
@@ -49,17 +52,62 @@ func TestReplicationStudyTDMADeterministicLayersAgree(t *testing.T) {
 	// statement about the protocol.
 	cfg := vanetsim.Trial1()
 	cfg.Duration = vanetsim.Seconds(50)
-	st := vanetsim.RunReplications(cfg, []uint64{1, 2, 3})
+	st, err := vanetsim.RunReplications(cfg, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.SteadyCI.HalfWidth > 1e-9 {
 		t.Fatalf("TDMA replications should agree exactly; CI half-width = %v", st.SteadyCI.HalfWidth)
 	}
 }
 
-func TestReplicationStudyPanicsOnOneSeed(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("single seed did not panic")
+// TestReplicationStudyErrorsOnOneSeed: fewer than two seeds is an error
+// (it used to panic), so cmd tools fail with a message, not a stack
+// trace.
+func TestReplicationStudyErrorsOnOneSeed(t *testing.T) {
+	for _, seeds := range [][]uint64{nil, {1}} {
+		if _, err := vanetsim.RunReplications(vanetsim.Trial1(), seeds); err == nil {
+			t.Fatalf("seeds=%v: expected an error", seeds)
 		}
-	}()
-	vanetsim.RunReplications(vanetsim.Trial1(), []uint64{1})
+	}
+}
+
+// TestReplicationStudyMissingFirstIsNaN: a duration too short for any
+// packet to reach the trailing vehicle must surface as NaN — an
+// explicit missing-sample marker — never as a silent 0.0 s indication
+// delay (which would claim every speed/gap combination safe).
+func TestReplicationStudyMissingFirstIsNaN(t *testing.T) {
+	cfg := vanetsim.Trial1()
+	cfg.Duration = 0 // no packet is ever received
+	st, err := vanetsim.RunReplications(cfg, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range st.Runs {
+		if !math.IsNaN(r.FirstS) {
+			t.Fatalf("seed %d: FirstS = %v, want NaN", r.Seed, r.FirstS)
+		}
+	}
+	if !math.IsNaN(st.FirstCI.Mean) {
+		t.Fatalf("FirstCI.Mean = %v, want NaN", st.FirstCI.Mean)
+	}
+}
+
+// TestReplicationsPoolInvariant: every pool size yields the identical
+// study — the runner's determinism contract at the library surface.
+func TestReplicationsPoolInvariant(t *testing.T) {
+	cfg := vanetsim.Trial3()
+	cfg.Duration = vanetsim.Seconds(40)
+	seeds := []uint64{1, 2, 3}
+	seq, err := vanetsim.RunReplicationsPool(cfg, seeds, vanetsim.Pool{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := vanetsim.RunReplicationsPool(cfg, seeds, vanetsim.Pool{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("parallel study differs from sequential:\n--- j=1\n%s--- j=8\n%s", seq, par)
+	}
 }

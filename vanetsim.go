@@ -24,6 +24,7 @@ import (
 
 	"vanetsim/internal/ebl"
 	"vanetsim/internal/obs"
+	"vanetsim/internal/runner"
 	"vanetsim/internal/scenario"
 	"vanetsim/internal/sim"
 	"vanetsim/internal/trace"
@@ -68,6 +69,22 @@ func Trial3() TrialConfig { return scenario.Trial3() }
 
 // RunTrial executes the scenario under cfg.
 func RunTrial(cfg TrialConfig) *TrialResult { return scenario.RunTrial(cfg) }
+
+// Pool bounds how many simulation runs execute concurrently in the
+// parallel entry points (RunTrials, RunReplicationsPool). The zero
+// value sizes itself to the machine (one worker per CPU).
+type Pool = runner.Pool
+
+// RunTrials executes independent trial configurations concurrently on a
+// bounded worker pool (jobs <= 0 means one worker per CPU) and returns
+// the results in input order. Each run is fully isolated — its own
+// scheduler, RNG, and telemetry registry — so every result, table, and
+// export is identical to running the configurations sequentially.
+func RunTrials(cfgs []TrialConfig, jobs int) []*TrialResult {
+	results, _ := runner.Map(runner.Pool{Workers: jobs}, len(cfgs),
+		func(i int) (*TrialResult, error) { return scenario.RunTrial(cfgs[i]), nil })
+	return results
+}
 
 // HighwayConfig configures the extension scenario: an N-vehicle highway
 // platoon whose lead brakes hard and whose followers react only to the
