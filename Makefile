@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-obs bench-parallel fuzz
+.PHONY: build test verify bench bench-obs bench-parallel bench-hot fuzz
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,15 @@ bench-obs:
 # 16-point perf sweep (sequential vs one worker per CPU).
 bench-parallel:
 	$(GO) test -bench='BenchmarkParallelSweep16' -benchtime=2x -run='^$$' .
+
+# bench-hot runs the discrete-event hot-path benchmarks tracked in
+# BENCH_PR3.json: scheduler push/pop and cancel/reschedule, trace
+# encode/decode, and the end-to-end trial. Fixed -benchtime values keep
+# runs comparable across machines and commits.
+bench-hot:
+	$(GO) test -bench='BenchmarkScheduler(HotPath|CancelReschedule)$$' -benchmem -benchtime=2s -run='^$$' ./internal/sim
+	$(GO) test -bench='BenchmarkTrace(Encode|Decode)$$' -benchmem -benchtime=2s -run='^$$' ./internal/trace
+	$(GO) test -bench='BenchmarkTrial1Baseline$$' -benchmem -benchtime=5x -run='^$$' .
 
 # fuzz exercises the trace-line round trip for a short burst.
 fuzz:

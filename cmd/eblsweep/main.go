@@ -27,6 +27,7 @@ import (
 	"os"
 
 	"vanetsim"
+	"vanetsim/internal/prof"
 	"vanetsim/internal/runner"
 )
 
@@ -57,7 +58,7 @@ func run(args []string, out io.Writer) error {
 
 // runWith is run with an explicit progress sink, so tests can capture
 // or silence the per-run progress stream.
-func runWith(args []string, out, progress io.Writer) error {
+func runWith(args []string, out, progress io.Writer) (err error) {
 	fs := flag.NewFlagSet("eblsweep", flag.ContinueOnError)
 	var (
 		safetyOnly = fs.Bool("safety", false, "print only the safety matrix")
@@ -66,10 +67,21 @@ func runWith(args []string, out, progress io.Writer) error {
 		jobs       = fs.Int("j", 0, "concurrent simulation runs (0 = one per CPU); output is identical at every -j")
 		stats      = fs.Bool("stats", false, "add per-run telemetry to the progress lines")
 		statsJSN   = fs.String("stats-json", "", "append every run's telemetry as NDJSON to this path")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf    = fs.String("memprofile", "", "write an allocation profile to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := stopProf(); err == nil {
+			err = e
+		}
+	}()
 	opts := sweepOpts{
 		jobs:     *jobs,
 		stats:    *stats,

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"vanetsim"
+	"vanetsim/internal/prof"
 )
 
 func main() {
@@ -30,9 +31,11 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("vanetsim", flag.ContinueOnError)
 	var (
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this path")
+		memProf  = fs.String("memprofile", "", "write an allocation profile to this path")
 		trial    = fs.Int("trial", 1, "paper trial to run (1, 2 or 3); 0 to build from -mac/-packet")
 		macName  = fs.String("mac", "tdma", "MAC type for -trial 0: tdma or 802.11")
 		pktSize  = fs.Int("packet", 1000, "packet size in bytes for -trial 0")
@@ -49,6 +52,15 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := stopProf(); err == nil {
+			err = e
+		}
+	}()
 
 	var cfg vanetsim.TrialConfig
 	switch *trial {

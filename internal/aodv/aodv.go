@@ -103,7 +103,7 @@ type seenKey struct {
 type discovery struct {
 	ttl     int
 	retries int
-	timer   *sim.Timer
+	timer   sim.Timer
 	buffer  []*packet.Packet
 	// repair marks a local-repair search: its failure must be announced
 	// with a route error (the sources don't yet know the route is gone).
@@ -126,7 +126,7 @@ type Agent struct {
 	disc    map[packet.NodeID]*discovery
 
 	neighbors  map[packet.NodeID]sim.Time // last-heard times (hello mode)
-	helloTimer *sim.Timer
+	helloTimer sim.Timer
 
 	stats Stats
 }
@@ -410,9 +410,7 @@ func (a *Agent) recvRREP(p *packet.Packet, rp *RREP) {
 	if rp.Origin == a.id {
 		// Our discovery completed: release everything buffered for dst.
 		if d := a.disc[rp.Dst]; d != nil {
-			if d.timer != nil {
-				d.timer.Cancel()
-			}
+			d.timer.Cancel()
 			delete(a.disc, rp.Dst)
 			r := a.tbl.valid(rp.Dst, now)
 			for _, bp := range d.buffer {

@@ -22,7 +22,7 @@ type CBR struct {
 	interval   sim.Time
 
 	running bool
-	timer   *sim.Timer
+	timer   sim.Timer
 	ticks   int
 }
 
@@ -64,10 +64,8 @@ func (c *CBR) Stop() {
 		return
 	}
 	c.running = false
-	if c.timer != nil {
-		c.timer.Cancel()
-		c.timer = nil
-	}
+	c.timer.Cancel()
+	c.timer = sim.Timer{}
 }
 
 func (c *CBR) tick() {

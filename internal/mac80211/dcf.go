@@ -140,18 +140,18 @@ type MAC struct {
 	backoffSlots int
 	phase        accessPhase
 	backoffStart sim.Time
-	accessTimer  *sim.Timer
+	accessTimer  sim.Timer
 
 	waitingAck bool
-	ackTimer   *sim.Timer
+	ackTimer   sim.Timer
 	waitingCTS bool
-	ctsTimer   *sim.Timer
+	ctsTimer   sim.Timer
 
 	navUntil sim.Time
-	navTimer *sim.Timer
+	navTimer sim.Timer
 
 	txBusy     bool // our radio is clocking out a frame
-	pendingAck *sim.Timer
+	pendingAck sim.Timer
 
 	dedup     map[uint64]bool
 	dedupFIFO []uint64
@@ -241,7 +241,7 @@ func (m *MAC) startAccess() {
 }
 
 func (m *MAC) onDifsEnd() {
-	m.accessTimer = nil
+	m.accessTimer = sim.Timer{}
 	if !m.mediumFree() {
 		m.phase = phaseNone
 		m.armNavTimer()
@@ -258,7 +258,7 @@ func (m *MAC) onDifsEnd() {
 }
 
 func (m *MAC) onBackoffEnd() {
-	m.accessTimer = nil
+	m.accessTimer = sim.Timer{}
 	m.backoffSlots = 0
 	m.obsBackoffWait.ObserveDuration(m.sched.Now() - m.backoffStart)
 	if !m.mediumFree() {
@@ -343,7 +343,7 @@ func (m *MAC) transmitRTS(p *packet.Packet) {
 // onCtsTimeout handles a missing CTS like a missing ACK: back off and
 // retry the whole exchange.
 func (m *MAC) onCtsTimeout() {
-	m.ctsTimer = nil
+	m.ctsTimer = sim.Timer{}
 	m.waitingCTS = false
 	m.retries++
 	if m.retries > m.cfg.RetryLimit {
@@ -359,7 +359,7 @@ func (m *MAC) onCtsTimeout() {
 }
 
 func (m *MAC) onAckTimeout() {
-	m.ackTimer = nil
+	m.ackTimer = sim.Timer{}
 	m.waitingAck = false
 	m.retries++
 	if m.retries > m.cfg.RetryLimit {
@@ -411,10 +411,8 @@ func (m *MAC) RecvFromPhy(p *packet.Packet, corrupted bool) {
 	switch p.Mac.Subtype {
 	case packet.MacAck:
 		if p.Mac.Dst == m.id && m.waitingAck {
-			if m.ackTimer != nil {
-				m.ackTimer.Cancel()
-				m.ackTimer = nil
-			}
+			m.ackTimer.Cancel()
+			m.ackTimer = sim.Timer{}
 			m.waitingAck = false
 			m.finishCurrent(true)
 		}
@@ -424,10 +422,8 @@ func (m *MAC) RecvFromPhy(p *packet.Packet, corrupted bool) {
 		}
 	case packet.MacCTS:
 		if p.Mac.Dst == m.id && m.waitingCTS {
-			if m.ctsTimer != nil {
-				m.ctsTimer.Cancel()
-				m.ctsTimer = nil
-			}
+			m.ctsTimer.Cancel()
+			m.ctsTimer = sim.Timer{}
 			m.waitingCTS = false
 			m.sendDataAfterCTS()
 		}
@@ -454,7 +450,7 @@ func (m *MAC) RecvFromPhy(p *packet.Packet, corrupted bool) {
 func (m *MAC) scheduleAck(data *packet.Packet) {
 	to := data.Mac.Src
 	m.pendingAck = m.sched.ScheduleKind(sim.KindMAC, m.cfg.SIFS, func() {
-		m.pendingAck = nil
+		m.pendingAck = sim.Timer{}
 		if m.txBusy {
 			return // pathological overlap; drop the ACK, sender retries
 		}
@@ -524,10 +520,8 @@ func (m *MAC) ChannelBusy() {
 	switch m.phase {
 	case phaseDIFS:
 		// DIFS must restart from scratch after the medium clears.
-		if m.accessTimer != nil {
-			m.accessTimer.Cancel()
-			m.accessTimer = nil
-		}
+		m.accessTimer.Cancel()
+		m.accessTimer = sim.Timer{}
 		m.phase = phaseNone
 	case phaseBackoff:
 		// Freeze the countdown at whole slots already consumed.
@@ -537,10 +531,8 @@ func (m *MAC) ChannelBusy() {
 		if m.backoffSlots < 0 {
 			m.backoffSlots = 0
 		}
-		if m.accessTimer != nil {
-			m.accessTimer.Cancel()
-			m.accessTimer = nil
-		}
+		m.accessTimer.Cancel()
+		m.accessTimer = sim.Timer{}
 		m.phase = phaseNone
 	}
 }
@@ -555,15 +547,13 @@ func (m *MAC) armNavTimer() {
 	if m.navUntil <= m.sched.Now() {
 		return
 	}
-	if m.navTimer != nil && m.navTimer.Active() && m.navTimer.When() >= m.navUntil {
+	if m.navTimer.Active() && m.navTimer.When() >= m.navUntil {
 		return
 	}
-	if m.navTimer != nil {
-		m.navTimer.Cancel()
-	}
+	m.navTimer.Cancel()
 	until := m.navUntil
 	m.navTimer = m.sched.AtKind(sim.KindMAC, until, func() {
-		m.navTimer = nil
+		m.navTimer = sim.Timer{}
 		m.startAccess()
 	})
 }

@@ -186,7 +186,7 @@ type MAC struct {
 	schedule *Schedule
 	cfg      Config
 
-	slotTimer *sim.Timer
+	slotTimer sim.Timer
 	stats     Stats
 
 	// Telemetry (nil-safe; see internal/obs). waitFrom stamps when the
@@ -232,7 +232,7 @@ func (m *MAC) SetObs(slotWait *obs.Histogram) { m.obsSlotWait = slotWait }
 // Poke implements mac.MAC: arms the next own-slot wakeup if the queue has
 // work and no wakeup is pending.
 func (m *MAC) Poke() {
-	if m.slotTimer != nil && m.slotTimer.Active() {
+	if m.slotTimer.Active() {
 		return
 	}
 	if m.ifq.Peek() == nil {
@@ -245,7 +245,7 @@ func (m *MAC) Poke() {
 
 // onSlot fires at the start of this node's slot.
 func (m *MAC) onSlot() {
-	m.slotTimer = nil
+	m.slotTimer = sim.Timer{}
 	p := m.ifq.Dequeue()
 	if p == nil {
 		m.stats.IdleSlots++

@@ -99,7 +99,7 @@ type Vehicle struct {
 	segs  []segment
 	phase Phase
 
-	pending   *sim.Timer // arrival/stop event for the current manoeuvre
+	pending   sim.Timer // arrival/stop event for the current manoeuvre
 	listeners []func(Event)
 }
 
@@ -167,10 +167,8 @@ func (v *Vehicle) pushSegment(s segment) {
 }
 
 func (v *Vehicle) cancelPending() {
-	if v.pending != nil {
-		v.pending.Cancel()
-		v.pending = nil
-	}
+	v.pending.Cancel()
+	v.pending = sim.Timer{}
 }
 
 // SetDest starts the vehicle moving in a straight line toward dest at the
@@ -196,7 +194,7 @@ func (v *Vehicle) SetDest(dest geom.Vec2, speed float64) {
 	v.setPhase(Moving)
 	travel := sim.Time(dist / speed)
 	v.pending = v.sched.ScheduleKind(sim.KindMobility, travel, func() {
-		v.pending = nil
+		v.pending = sim.Timer{}
 		v.pushSegment(segment{start: v.sched.Now(), pos: dest})
 		v.setPhase(Stopped)
 	})
@@ -223,7 +221,7 @@ func (v *Vehicle) Brake(decel float64) {
 	v.setPhase(Braking)
 	stopIn := sim.Time(speed / decel)
 	v.pending = v.sched.ScheduleKind(sim.KindMobility, stopIn, func() {
-		v.pending = nil
+		v.pending = sim.Timer{}
 		stopPos := cur.Add(dir.Scale(speed * speed / (2 * decel)))
 		v.pushSegment(segment{start: v.sched.Now(), pos: stopPos})
 		v.setPhase(Stopped)

@@ -6,6 +6,19 @@ import (
 	"vanetsim/internal/sim"
 )
 
+// arrival carries one receiver's pending first-bit event from broadcast to
+// delivery. Arrivals are the highest-volume scheduled payload in the
+// simulator (one per in-range receiver per frame), so they are recycled
+// through a per-channel free list and delivered via a single long-lived
+// callback instead of a capturing closure per receiver.
+type arrival struct {
+	dst      *Radio
+	p        *packet.Packet
+	power    float64
+	duration sim.Time
+	freq     int
+}
+
 // Channel is the shared wireless medium. Every attached radio's
 // transmission is offered to every other radio whose received power
 // clears its carrier-sense threshold, after the speed-of-light delay.
@@ -13,11 +26,25 @@ type Channel struct {
 	sched  *sim.Scheduler
 	prop   Propagation
 	radios []*Radio
+
+	arriveFn func(any)
+	arrFree  []*arrival
 }
 
 // NewChannel creates a channel using the given propagation model.
 func NewChannel(sched *sim.Scheduler, prop Propagation) *Channel {
-	return &Channel{sched: sched, prop: prop}
+	c := &Channel{sched: sched, prop: prop}
+	c.arriveFn = func(a any) {
+		ar := a.(*arrival)
+		dst, p, power, duration, freq := ar.dst, ar.p, ar.power, ar.duration, ar.freq
+		*ar = arrival{}
+		c.arrFree = append(c.arrFree, ar)
+		if dst.Freq() != freq {
+			return // tuned elsewhere: no energy seen
+		}
+		dst.frameArrives(p, power, duration)
+	}
+	return c
 }
 
 // Attach registers a radio on the medium.
@@ -47,15 +74,16 @@ func (c *Channel) broadcast(src *Radio, p *packet.Packet, duration sim.Time) {
 		if pr < dst.Params.CSThreshW {
 			continue // below the noise floor: invisible
 		}
-		dst := dst
-		cp := p.Clone()
 		delay := sim.Time(srcPos.Dist(dst.pos()) / SpeedOfLight)
-		c.sched.ScheduleKind(sim.KindPHY, delay, func() {
-			if dst.Freq() != txFreq {
-				return // tuned elsewhere: no energy seen
-			}
-			dst.frameArrives(cp, pr, duration)
-		})
+		var ar *arrival
+		if n := len(c.arrFree); n > 0 {
+			ar = c.arrFree[n-1]
+			c.arrFree = c.arrFree[:n-1]
+		} else {
+			ar = &arrival{}
+		}
+		*ar = arrival{dst: dst, p: p.Clone(), power: pr, duration: duration, freq: txFreq}
+		c.sched.ScheduleArgKind(sim.KindPHY, delay, c.arriveFn, ar)
 	}
 }
 

@@ -268,6 +268,22 @@ func TestTransmitAbortsReception(t *testing.T) {
 	if len(macs[1].frames) != 0 {
 		t.Fatal("reception should be destroyed by own transmission")
 	}
+	if got := radios[1].Stats().RxAbortedByTx; got != 1 {
+		t.Fatalf("RxAbortedByTx = %d, want 1", got)
+	}
+	if got := radios[0].Stats().RxAbortedByTx; got != 0 {
+		t.Fatalf("sender RxAbortedByTx = %d, want 0", got)
+	}
+	// A later clean frame must still be delivered intact: the aborted
+	// reception's recycled struct must not leak state into the next lock-on.
+	radios[0].Transmit(mkPkt(&f, 1000), 4*sim.Millisecond)
+	s.Run()
+	if len(macs[1].frames) != 1 || macs[1].corrupted[0] {
+		t.Fatalf("post-abort delivery broken: got %d frames", len(macs[1].frames))
+	}
+	if got := radios[1].Stats().RxOK; got != 1 {
+		t.Fatalf("post-abort RxOK = %d, want 1", got)
+	}
 }
 
 func TestCarrierBusyDuringOwnTx(t *testing.T) {

@@ -27,7 +27,9 @@ func (s State) String() string {
 	return fmt.Sprintf("state(%d)", uint8(s))
 }
 
-// reception tracks the frame the radio is currently locked onto.
+// reception tracks the frame the radio is currently locked onto. Receptions
+// are recycled through a per-radio free list: every reception's lifetime
+// ends in finishReception (delivered or aborted), which releases it.
 type reception struct {
 	p         *packet.Packet
 	power     float64
@@ -38,6 +40,12 @@ type reception struct {
 	maxInterfW float64
 }
 
+// interfEntry carries one interferer's power until its end-of-arrival
+// event; pooled like receptions.
+type interfEntry struct {
+	power float64
+}
+
 // Stats counts radio-level outcomes for diagnostics and tests.
 type Stats struct {
 	TxFrames      int // frames transmitted
@@ -46,6 +54,7 @@ type Stats struct {
 	RxCaptured    int // interferers suppressed by capture
 	RxWhileTx     int // arrivals ignored because the radio was transmitting
 	RxBelowThresh int // arrivals sensed but too weak to decode
+	RxAbortedByTx int // in-progress receptions destroyed by our own transmission
 }
 
 // Radio is one node's transceiver. It is half-duplex: transmitting blinds
@@ -65,11 +74,20 @@ type Radio struct {
 	state     State
 	rx        *reception
 	busyUntil sim.Time
-	idleTimer *sim.Timer
+	idleTimer sim.Timer
 
 	// interfW is the aggregate power of all arrivals not locked onto,
 	// maintained only in SINR mode.
 	interfW float64
+
+	// Hot-path callbacks, allocated once per radio so per-event scheduling
+	// captures nothing, plus free lists for the per-event payload structs.
+	txDoneFn    func()
+	idleFn      func()
+	finishRecFn func(any)
+	interfEndFn func(any)
+	recFree     []*reception
+	interfFree  []*interfEntry
 
 	stats Stats
 }
@@ -80,7 +98,25 @@ func NewRadio(id packet.NodeID, sched *sim.Scheduler, pos PositionFn, params Rad
 	if pos == nil {
 		panic("phy: nil position function")
 	}
-	return &Radio{id: id, sched: sched, pos: pos, Params: params}
+	r := &Radio{id: id, sched: sched, pos: pos, Params: params}
+	r.txDoneFn = func() {
+		r.state = Idle
+		r.maybeIdle()
+	}
+	r.idleFn = func() {
+		r.idleTimer = sim.Timer{}
+		r.maybeIdle()
+	}
+	r.finishRecFn = func(a any) { r.finishReception(a.(*reception)) }
+	r.interfEndFn = func(a any) {
+		e := a.(*interfEntry)
+		r.interfW -= e.power
+		if r.interfW < 0 {
+			r.interfW = 0 // floating-point drift floor
+		}
+		r.interfFree = append(r.interfFree, e)
+	}
+	return r
 }
 
 // ID returns the owning node's ID.
@@ -109,6 +145,25 @@ func (r *Radio) State() State { return r.state }
 // Stats returns the radio's counters.
 func (r *Radio) Stats() Stats { return r.stats }
 
+// newReception returns a recycled (or new) reception initialised for a
+// locked-onto frame.
+func (r *Radio) newReception(p *packet.Packet, power float64, end sim.Time) *reception {
+	if n := len(r.recFree); n > 0 {
+		rec := r.recFree[n-1]
+		r.recFree = r.recFree[:n-1]
+		*rec = reception{p: p, power: power, end: end}
+		return rec
+	}
+	return &reception{p: p, power: power, end: end}
+}
+
+// releaseReception returns a finished reception to the free list, dropping
+// its packet reference so the pool pins no frames.
+func (r *Radio) releaseReception(rec *reception) {
+	rec.p = nil
+	r.recFree = append(r.recFree, rec)
+}
+
 // CarrierBusy reports whether the medium appears busy to this radio: it is
 // transmitting, locked onto a frame, or sensing energy above the
 // carrier-sense threshold.
@@ -129,17 +184,16 @@ func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) {
 		panic("phy: non-positive transmit duration")
 	}
 	if r.rx != nil {
-		// Half-duplex: the in-progress reception is lost silently.
+		// Half-duplex: the in-progress reception is lost. The reception's
+		// end-of-frame event releases it when it finds r.rx changed.
+		r.stats.RxAbortedByTx++
 		r.rx = nil
 	}
 	r.state = Transmitting
 	r.stats.TxFrames++
 	r.extendBusy(r.sched.Now() + duration)
 	r.ch.broadcast(r, p, duration)
-	r.sched.ScheduleKind(sim.KindPHY, duration, func() {
-		r.state = Idle
-		r.maybeIdle()
-	})
+	r.sched.ScheduleKind(sim.KindPHY, duration, r.txDoneFn)
 }
 
 // frameArrives is called by the channel when the first bit of a frame
@@ -172,10 +226,10 @@ func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time)
 		}
 	case r.rx == nil:
 		// Lock onto the frame; deliver when the last bit arrives.
-		rec := &reception{p: p, power: power, end: end}
+		rec := r.newReception(p, power, end)
 		r.rx = rec
 		r.state = Receiving
-		r.sched.ScheduleKind(sim.KindPHY, duration, func() { r.finishReception(rec) })
+		r.sched.ScheduleArgKind(sim.KindPHY, duration, r.finishRecFn, rec)
 	default:
 		// Overlap with the frame we are locked onto.
 		if r.rx.power >= power*r.Params.CaptureRatio {
@@ -194,10 +248,11 @@ func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time)
 // into the interference level, and the verdict falls at reception end.
 func (r *Radio) arriveSINR(p *packet.Packet, power float64, duration sim.Time, end sim.Time) {
 	if r.state != Transmitting && r.rx == nil && power >= r.Params.RxThreshW {
-		rec := &reception{p: p, power: power, end: end, maxInterfW: r.interfW}
+		rec := r.newReception(p, power, end)
+		rec.maxInterfW = r.interfW
 		r.rx = rec
 		r.state = Receiving
-		r.sched.ScheduleKind(sim.KindPHY, duration, func() { r.finishReception(rec) })
+		r.sched.ScheduleArgKind(sim.KindPHY, duration, r.finishRecFn, rec)
 		return
 	}
 	switch {
@@ -216,18 +271,24 @@ func (r *Radio) addInterference(power float64, duration sim.Time) {
 	if r.rx != nil && r.interfW > r.rx.maxInterfW {
 		r.rx.maxInterfW = r.interfW
 	}
-	r.sched.ScheduleKind(sim.KindPHY, duration, func() {
-		r.interfW -= power
-		if r.interfW < 0 {
-			r.interfW = 0 // floating-point drift floor
-		}
-	})
+	var e *interfEntry
+	if n := len(r.interfFree); n > 0 {
+		e = r.interfFree[n-1]
+		r.interfFree = r.interfFree[:n-1]
+	} else {
+		e = &interfEntry{}
+	}
+	e.power = power
+	r.sched.ScheduleArgKind(sim.KindPHY, duration, r.interfEndFn, e)
 }
 
 // finishReception delivers the locked frame when its last bit arrives.
 func (r *Radio) finishReception(rec *reception) {
 	if r.rx != rec {
-		return // reception was aborted (e.g. we transmitted over it)
+		// Reception was aborted (e.g. we transmitted over it); this event
+		// held the last reference, so the struct can be recycled now.
+		r.releaseReception(rec)
+		return
 	}
 	r.rx = nil
 	if r.state == Receiving {
@@ -236,13 +297,15 @@ func (r *Radio) finishReception(rec *reception) {
 	if r.Params.SINRMode && rec.power < r.Params.CaptureRatio*(r.Params.NoiseFloorW+rec.maxInterfW) {
 		rec.corrupted = true
 	}
-	if rec.corrupted {
+	p, corrupted := rec.p, rec.corrupted
+	if corrupted {
 		r.stats.RxCollided++
 	} else {
 		r.stats.RxOK++
 	}
+	r.releaseReception(rec)
 	if r.mac != nil {
-		r.mac.RecvFromPhy(rec.p, rec.corrupted)
+		r.mac.RecvFromPhy(p, corrupted)
 	}
 	r.maybeIdle()
 }
@@ -254,13 +317,8 @@ func (r *Radio) extendBusy(t sim.Time) {
 		return
 	}
 	r.busyUntil = t
-	if r.idleTimer != nil {
-		r.idleTimer.Cancel()
-	}
-	r.idleTimer = r.sched.AtKind(sim.KindPHY, t, func() {
-		r.idleTimer = nil
-		r.maybeIdle()
-	})
+	r.idleTimer.Cancel()
+	r.idleTimer = r.sched.AtKind(sim.KindPHY, t, r.idleFn)
 }
 
 // maybeIdle notifies the MAC if the medium has gone fully quiet.

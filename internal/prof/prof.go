@@ -1,0 +1,53 @@
+// Package prof starts and stops runtime/pprof CPU and heap profiles for
+// the command-line tools (-cpuprofile / -memprofile), so hot-path work on
+// the simulator core can be measured on real trial workloads rather than
+// microbenchmarks alone.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile when cpuPath is non-empty and returns a stop
+// function that ends the CPU profile and, when memPath is non-empty,
+// writes an allocation profile. With both paths empty the returned stop is
+// a no-op, so callers can defer it unconditionally.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -95,6 +95,7 @@ func (w *World) HarvestTelemetry(wallStart time.Time, comms ...*ebl.PlatoonComms
 		add("phy/rx_captured", "interferers suppressed by capture", ps.RxCaptured)
 		add("phy/rx_while_tx", "arrivals lost to half-duplex transmission", ps.RxWhileTx)
 		add("phy/rx_below_thresh", "arrivals below the receive threshold", ps.RxBelowThresh)
+		add("phy/rx_aborted_by_tx", "in-progress receptions destroyed by own transmission", ps.RxAbortedByTx)
 
 		add("ifq/dropped_total", "packets dropped by interface queues", n.Ifq.Drops())
 

@@ -1,0 +1,36 @@
+package sim
+
+import "testing"
+
+// BenchmarkSchedulerHotPath measures the steady-state schedule/fire loop
+// with a realistically deep pending heap (512 outstanding events). This is
+// the inner loop of every simulation run; it must not allocate.
+func BenchmarkSchedulerHotPath(b *testing.B) {
+	s := New()
+	fn := func() {}
+	for i := 0; i < 512; i++ {
+		s.Schedule(Time(i)*Microsecond, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(Microsecond, fn)
+		s.Step()
+	}
+}
+
+// BenchmarkSchedulerCancelReschedule measures the cancel-then-reschedule
+// churn typical of MAC timers (ACK timeouts, NAV wakeups): every scheduled
+// event is cancelled and replaced before it can fire.
+func BenchmarkSchedulerCancelReschedule(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := s.Schedule(Microsecond, fn)
+		tm.Cancel()
+		s.Schedule(Microsecond, fn)
+		s.Step()
+	}
+}

@@ -8,10 +8,18 @@
 // is what makes the reproduction of the paper's figures meaningful, so the
 // scheduler breaks ties between simultaneous events by scheduling order
 // (FIFO) rather than by map iteration or goroutine interleaving.
+//
+// The scheduler is also the simulator's hottest loop: every frame, timer,
+// and mobility manoeuvre passes through it several times. It therefore
+// avoids container/heap's interface boxing with an inlined concrete
+// min-heap, and recycles event nodes through a per-scheduler free list so
+// steady-state scheduling performs no heap allocation at all. Timer
+// handles are generation-checked values: a handle kept past its event's
+// firing (or cancellation) goes permanently inert, even after the
+// underlying node has been recycled for a new event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -73,39 +81,52 @@ func (k EventKind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// Timer is a handle to a scheduled event. The zero value is not useful;
-// timers are created by Scheduler.Schedule and Scheduler.At.
+// timerNode is the scheduler-owned state of one scheduled event. Nodes are
+// recycled through the owning scheduler's free list; gen distinguishes the
+// node's current tenancy from stale Timer handles issued for earlier ones.
+type timerNode struct {
+	at    Time
+	seq   uint64
+	fn    func()    // nil when fnArg carries the callback
+	fnArg func(any) // argument-taking callback, avoids per-event closures
+	arg   any
+	owner *Scheduler
+	gen   uint64
+	kind  EventKind
+	index int // position in the heap, -1 while free
+}
+
+// Timer is a handle to a scheduled event. It is a small value: copy it
+// freely. The zero value is inert — Cancel is a no-op and Active reports
+// false — so a struct field of type Timer needs no initialisation and can
+// be reset by assigning Timer{}. A handle kept after its event fired or
+// was cancelled is equally inert: the scheduler recycles event storage,
+// and the handle's generation check makes stale use safe.
 type Timer struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	kind     EventKind
-	owner    *Scheduler
-	canceled bool
-	fired    bool
-	index    int // position in the heap, -1 once removed
+	n   *timerNode
+	gen uint64
+	at  Time
 }
 
 // Cancel prevents the timer from firing and removes it from the pending
 // heap immediately (O(log n) via the maintained heap index), so cancelled
-// timers do not linger until their deadline. Cancelling an already-fired
-// or already-cancelled timer is a no-op.
-func (t *Timer) Cancel() {
-	if t == nil || t.fired || t.canceled {
+// timers do not linger until their deadline. Cancelling an already-fired,
+// already-cancelled, or zero-value timer is a no-op.
+func (t Timer) Cancel() {
+	n := t.n
+	if n == nil || n.gen != t.gen {
 		return
 	}
-	t.canceled = true
-	if t.owner != nil && t.index >= 0 {
-		heap.Remove(&t.owner.events, t.index)
-	}
+	n.owner.remove(n)
 }
 
 // Active reports whether the timer is still pending (not fired, not
 // cancelled).
-func (t *Timer) Active() bool { return t != nil && !t.fired && !t.canceled }
+func (t Timer) Active() bool { return t.n != nil && t.n.gen == t.gen }
 
-// When returns the simulated time the timer is (or was) set to fire.
-func (t *Timer) When() Time { return t.at }
+// When returns the simulated time the timer is (or was) set to fire. The
+// zero value reports 0.
+func (t Timer) When() Time { return t.at }
 
 // Scheduler is the discrete-event executive: it owns the virtual clock and
 // the pending-event queue. The zero value is a ready-to-use scheduler at
@@ -113,7 +134,8 @@ func (t *Timer) When() Time { return t.at }
 type Scheduler struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	heap    []*timerNode // binary min-heap on (at, seq)
+	free    []*timerNode // recycled nodes, LIFO
 	stopped bool
 
 	executed   uint64           // number of events fired, for instrumentation
@@ -139,7 +161,7 @@ func (s *Scheduler) ExecutedByKind() []uint64 {
 }
 
 // Pending returns the number of events currently scheduled.
-func (s *Scheduler) Pending() int { return len(s.events) }
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // MaxPending returns the pending-heap high-water mark: the largest number
 // of simultaneously scheduled events seen so far.
@@ -150,59 +172,99 @@ func (s *Scheduler) MaxPending() int { return s.maxPending }
 // already scheduled for that time (FIFO tie-break). Schedule panics on a
 // negative delay or NaN: scheduling into the past is always a simulator
 // bug, and silently clamping it would hide causality violations.
-func (s *Scheduler) Schedule(delay Time, fn func()) *Timer {
+func (s *Scheduler) Schedule(delay Time, fn func()) Timer {
 	return s.ScheduleKind(KindOther, delay, fn)
 }
 
 // ScheduleKind is Schedule with an EventKind tag for scheduler profiling.
-func (s *Scheduler) ScheduleKind(kind EventKind, delay Time, fn func()) *Timer {
+func (s *Scheduler) ScheduleKind(kind EventKind, delay Time, fn func()) Timer {
 	if delay < 0 || math.IsNaN(float64(delay)) {
 		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", delay, s.now))
 	}
 	return s.AtKind(kind, s.now+delay, fn)
 }
 
-// At runs fn at absolute simulated time t. It panics if t is in the past.
-func (s *Scheduler) At(t Time, fn func()) *Timer {
-	return s.AtKind(KindOther, t, fn)
-}
-
-// AtKind is At with an EventKind tag for scheduler profiling.
-func (s *Scheduler) AtKind(kind EventKind, t Time, fn func()) *Timer {
-	if t < s.now || math.IsNaN(float64(t)) {
-		panic(fmt.Sprintf("sim: At(%v) is before now (%v)", t, s.now))
+// ScheduleArgKind schedules fn(arg) after delay. Passing the argument
+// through the scheduler lets hot paths reuse one long-lived callback
+// instead of allocating a capturing closure per event; arg is typically a
+// pooled struct pointer, which boxes into the any without allocating.
+func (s *Scheduler) ScheduleArgKind(kind EventKind, delay Time, fn func(any), arg any) Timer {
+	if delay < 0 || math.IsNaN(float64(delay)) {
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %v at t=%v", delay, s.now))
 	}
 	if fn == nil {
 		panic("sim: At with nil func")
 	}
-	tm := &Timer{at: t, seq: s.seq, fn: fn, kind: kind, owner: s}
-	s.seq++
-	heap.Push(&s.events, tm)
-	if len(s.events) > s.maxPending {
-		s.maxPending = len(s.events)
+	return s.insert(kind, s.now+delay, nil, fn, arg)
+}
+
+// At runs fn at absolute simulated time t. It panics if t is in the past.
+func (s *Scheduler) At(t Time, fn func()) Timer {
+	return s.AtKind(KindOther, t, fn)
+}
+
+// AtKind is At with an EventKind tag for scheduler profiling.
+func (s *Scheduler) AtKind(kind EventKind, t Time, fn func()) Timer {
+	if fn == nil {
+		panic("sim: At with nil func")
 	}
-	return tm
+	return s.insert(kind, t, fn, nil, nil)
+}
+
+// insert allocates (or recycles) a node, pushes it, and issues its handle.
+func (s *Scheduler) insert(kind EventKind, t Time, fn func(), fnArg func(any), arg any) Timer {
+	if t < s.now || math.IsNaN(float64(t)) {
+		panic(fmt.Sprintf("sim: At(%v) is before now (%v)", t, s.now))
+	}
+	var n *timerNode
+	if k := len(s.free); k > 0 {
+		n = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	} else {
+		n = &timerNode{owner: s}
+	}
+	n.at, n.seq, n.fn, n.fnArg, n.arg, n.kind = t, s.seq, fn, fnArg, arg, kind
+	s.seq++
+	s.push(n)
+	if len(s.heap) > s.maxPending {
+		s.maxPending = len(s.heap)
+	}
+	return Timer{n: n, gen: n.gen, at: t}
+}
+
+// release retires a fired or cancelled node: its generation bump turns all
+// outstanding handles inert, and the callback references are dropped so the
+// free list pins no closures or arguments.
+func (s *Scheduler) release(n *timerNode) {
+	n.gen++
+	n.fn = nil
+	n.fnArg = nil
+	n.arg = nil
+	n.index = -1
+	s.free = append(s.free, n)
 }
 
 // Step fires the single earliest pending event. It returns false if no
 // events remain or the scheduler has been stopped.
 func (s *Scheduler) Step() bool {
-	for {
-		if s.stopped || len(s.events) == 0 {
-			return false
-		}
-		tm := heap.Pop(&s.events).(*Timer)
-		if tm.canceled {
-			// Cancel removes timers eagerly; this guards any future lazy path.
-			continue
-		}
-		s.now = tm.at
-		tm.fired = true
-		s.executed++
-		s.byKind[tm.kind]++
-		tm.fn()
-		return true
+	if s.stopped || len(s.heap) == 0 {
+		return false
 	}
+	n := s.popMin()
+	s.now = n.at
+	s.executed++
+	s.byKind[n.kind]++
+	// Capture the callback and recycle the node before invoking it, so a
+	// callback that immediately reschedules reuses this node's storage.
+	fn, fnArg, arg := n.fn, n.fnArg, n.arg
+	s.release(n)
+	if fn != nil {
+		fn()
+	} else {
+		fnArg(arg)
+	}
+	return true
 }
 
 // Run fires events until none remain or Stop is called.
@@ -219,8 +281,7 @@ func (s *Scheduler) RunUntil(deadline Time) {
 		if s.stopped {
 			return
 		}
-		tm := s.peek()
-		if tm == nil || tm.at > deadline {
+		if len(s.heap) == 0 || s.heap[0].at > deadline {
 			break
 		}
 		s.Step()
@@ -237,48 +298,102 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // Stopped reports whether Stop has been called.
 func (s *Scheduler) Stopped() bool { return s.stopped }
 
-// peek returns the earliest non-cancelled pending timer without firing it.
-func (s *Scheduler) peek() *Timer {
-	for len(s.events) > 0 {
-		tm := s.events[0]
-		if !tm.canceled {
-			return tm
+// The pending queue is a hand-inlined binary min-heap on (at, seq): the
+// earliest deadline wins, equal deadlines fire in scheduling order. The
+// sift loops move a hole instead of swapping, and node.index is maintained
+// throughout so Cancel can remove from the middle in O(log n).
+
+// lessNode orders a before b by (at, seq).
+func lessNode(a, b *timerNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends n and restores the heap invariant.
+func (s *Scheduler) push(n *timerNode) {
+	n.index = len(s.heap)
+	s.heap = append(s.heap, n)
+	s.siftUp(n.index)
+}
+
+// popMin removes and returns the earliest node.
+func (s *Scheduler) popMin() *timerNode {
+	h := s.heap
+	n := h[0]
+	last := len(h) - 1
+	moved := h[last]
+	h[last] = nil
+	s.heap = h[:last]
+	if last > 0 {
+		s.heap[0] = moved
+		moved.index = 0
+		s.siftDown(0)
+	}
+	return n
+}
+
+// remove deletes n from an arbitrary heap position and releases it.
+func (s *Scheduler) remove(n *timerNode) {
+	i := n.index
+	h := s.heap
+	last := len(h) - 1
+	moved := h[last]
+	h[last] = nil
+	s.heap = h[:last]
+	if i != last {
+		s.heap[i] = moved
+		moved.index = i
+		s.siftDown(i)
+		if moved.index == i {
+			s.siftUp(i)
 		}
-		heap.Pop(&s.events)
 	}
-	return nil
+	s.release(n)
 }
 
-// eventHeap is a min-heap ordered by (time, insertion sequence).
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// siftUp moves the node at j toward the root until its parent is earlier.
+func (s *Scheduler) siftUp(j int) {
+	h := s.heap
+	n := h[j]
+	for j > 0 {
+		i := (j - 1) / 2
+		p := h[i]
+		if !lessNode(n, p) {
+			break
+		}
+		h[j] = p
+		p.index = j
+		j = i
 	}
-	return h[i].seq < h[j].seq
+	h[j] = n
+	n.index = j
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	tm := x.(*Timer)
-	tm.index = len(*h)
-	*h = append(*h, tm)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	tm := old[n-1]
-	old[n-1] = nil
-	tm.index = -1
-	*h = old[:n-1]
-	return tm
+// siftDown moves the node at i toward the leaves until both children are
+// later.
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := h[i]
+	size := len(h)
+	for {
+		l := 2*i + 1
+		if l >= size {
+			break
+		}
+		j := l
+		if r := l + 1; r < size && lessNode(h[r], h[l]) {
+			j = r
+		}
+		c := h[j]
+		if !lessNode(c, n) {
+			break
+		}
+		h[i] = c
+		c.index = i
+		i = j
+	}
+	h[i] = n
+	n.index = i
 }

@@ -99,11 +99,11 @@ func TestSchedulerCancel(t *testing.T) {
 	tm.Cancel() // idempotent
 }
 
-func TestSchedulerCancelNil(t *testing.T) {
-	var tm *Timer
+func TestSchedulerCancelZeroValue(t *testing.T) {
+	var tm Timer
 	tm.Cancel() // must not panic
 	if tm.Active() {
-		t.Fatal("nil timer cannot be active")
+		t.Fatal("zero-value timer cannot be active")
 	}
 }
 
@@ -229,7 +229,7 @@ func TestSchedulerCancelProperty(t *testing.T) {
 	f := func(ops []bool) bool {
 		s := New()
 		fired := map[int]bool{}
-		var timers []*Timer
+		var timers []Timer
 		for i, cancel := range ops {
 			i := i
 			tm := s.Schedule(Time(i%7)+1, func() { fired[i] = true })
@@ -274,7 +274,7 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 
 func TestCancelRemovesFromHeap(t *testing.T) {
 	s := New()
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 8; i++ {
 		timers = append(timers, s.Schedule(Time(i+1), func() {}))
 	}

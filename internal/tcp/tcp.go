@@ -105,7 +105,7 @@ type Sender struct {
 	rtoBackoff    int
 	firstSent     map[int]sim.Time
 	retransmitted map[int]bool
-	rtxTimer      *sim.Timer
+	rtxTimer      sim.Timer
 
 	onSend    func(p *packet.Packet)
 	payloadFn func() packet.Payload
@@ -353,7 +353,7 @@ func (s *Sender) rto() sim.Time {
 }
 
 func (s *Sender) armRtx() {
-	if s.rtxTimer != nil && s.rtxTimer.Active() {
+	if s.rtxTimer.Active() {
 		return
 	}
 	s.rtxTimer = s.sched.ScheduleKind(sim.KindTransport, s.rto(), s.onTimeout)
@@ -365,14 +365,12 @@ func (s *Sender) restartRtx() {
 }
 
 func (s *Sender) cancelRtx() {
-	if s.rtxTimer != nil {
-		s.rtxTimer.Cancel()
-		s.rtxTimer = nil
-	}
+	s.rtxTimer.Cancel()
+	s.rtxTimer = sim.Timer{}
 }
 
 func (s *Sender) onTimeout() {
-	s.rtxTimer = nil
+	s.rtxTimer = sim.Timer{}
 	if s.Outstanding() == 0 {
 		return
 	}

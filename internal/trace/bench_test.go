@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"testing"
+)
+
+// benchRecords is a representative mix of the lines a trial emits: TCP data
+// at the agent layer, an AODV control packet, a drop with a reason, and a
+// MAC-layer forward.
+var benchRecords = []Record{
+	{Op: Send, At: 12.000350, Node: 0, Layer: LayerAgent,
+		UID: 42, Type: "tcp", Size: 1040, Src: 0, SrcPt: 100, Dst: 1, DstPt: 200, Seq: 5},
+	{Op: Recv, At: 0.003, Node: 1, Layer: LayerRouting,
+		UID: 9, Type: "AODV", Size: 48, Src: 4, SrcPt: 254, Dst: 5, DstPt: 254, Seq: -1},
+	{Op: Drop, At: 99.5, Node: 3, Layer: LayerIfq, Reason: "IFQ",
+		UID: 7, Type: "tcp", Size: 1040, Src: 0, SrcPt: 1000, Dst: 2, DstPt: 1001, Seq: 17},
+	{Op: Forward, At: 150.25, Node: 2, Layer: LayerMac,
+		UID: 1234, Type: "ack", Size: 40, Src: 1, SrcPt: 2001, Dst: 0, DstPt: 2000, Seq: 0},
+}
+
+// BenchmarkTraceEncode measures formatting one record as a trace line into
+// a reused buffer, the per-event cost of every traced run.
+func BenchmarkTraceEncode(b *testing.B) {
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = benchRecords[i%len(benchRecords)].AppendLine(buf[:0])
+	}
+	_ = buf
+}
+
+// BenchmarkTraceDecode measures parsing one trace line, the per-event cost
+// of cmd/ebltrace-style offline analysis.
+func BenchmarkTraceDecode(b *testing.B) {
+	lines := make([]string, len(benchRecords))
+	for i, r := range benchRecords {
+		lines[i] = r.Line()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(lines[i%len(lines)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

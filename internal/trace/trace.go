@@ -18,6 +18,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
@@ -62,17 +64,44 @@ type Record struct {
 	Seq    int // transport sequence number, -1 if none
 }
 
-// Line formats the record in the trace-file syntax.
-func (r Record) Line() string {
-	reason := r.Reason
-	if reason == "" {
-		reason = "---"
+// AppendLine appends the record's trace-file line (no trailing newline) to
+// buf and returns the extended slice. Callers that reuse the returned
+// buffer encode with zero allocations; the byte output is identical to the
+// fmt-based formatting this replaced ('f' with 6 digits is exactly %.6f).
+func (r Record) AppendLine(buf []byte) []byte {
+	buf = append(buf, byte(r.Op), ' ')
+	buf = strconv.AppendFloat(buf, float64(r.At), 'f', 6, 64)
+	buf = append(buf, ' ', '_')
+	buf = strconv.AppendInt(buf, int64(int32(r.Node)), 10)
+	buf = append(buf, '_', ' ')
+	buf = append(buf, r.Layer...)
+	buf = append(buf, ' ')
+	if r.Reason == "" {
+		buf = append(buf, "---"...)
+	} else {
+		buf = append(buf, r.Reason...)
 	}
-	return fmt.Sprintf("%c %.6f _%d_ %s %s %d %s %d [%d:%d %d:%d] %d",
-		byte(r.Op), float64(r.At), int32(r.Node), r.Layer, reason,
-		r.UID, r.Type, r.Size,
-		int32(r.Src), r.SrcPt, int32(r.Dst), r.DstPt, r.Seq)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, r.UID, 10)
+	buf = append(buf, ' ')
+	buf = append(buf, r.Type...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(r.Size), 10)
+	buf = append(buf, ' ', '[')
+	buf = strconv.AppendInt(buf, int64(int32(r.Src)), 10)
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, int64(r.SrcPt), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(int32(r.Dst)), 10)
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, int64(r.DstPt), 10)
+	buf = append(buf, ']', ' ')
+	buf = strconv.AppendInt(buf, int64(r.Seq), 10)
+	return buf
 }
+
+// Line formats the record in the trace-file syntax.
+func (r Record) Line() string { return string(r.AppendLine(nil)) }
 
 // FromPacket fills a record's packet-derived fields.
 func FromPacket(op Op, at sim.Time, node packet.NodeID, layer Layer, p *packet.Packet) Record {
@@ -89,11 +118,58 @@ func FromPacket(op Op, at sim.Time, node packet.NodeID, layer Layer, p *packet.P
 	}
 }
 
-// Parse decodes one trace line.
+// asciiSpace marks the ASCII bytes unicode.IsSpace reports as whitespace,
+// the same fast-path table strings.Fields uses.
+var asciiSpace = [256]uint8{'\t': 1, '\n': 1, '\v': 1, '\f': 1, '\r': 1, ' ': 1}
+
+// splitFields splits line on Unicode whitespace exactly like
+// strings.Fields, writing at most len(dst) fields and returning the total
+// field count (which may exceed len(dst)). The fields are substrings
+// sharing line's backing array, so splitting allocates nothing.
+func splitFields(line string, dst []string) int {
+	n := 0
+	for i := 0; i < len(line); {
+		space, w := false, 1
+		if c := line[i]; c < utf8.RuneSelf {
+			space = asciiSpace[c] == 1
+		} else {
+			var r rune
+			r, w = utf8.DecodeRuneInString(line[i:])
+			space = unicode.IsSpace(r)
+		}
+		if space {
+			i += w
+			continue
+		}
+		start := i
+		for i < len(line) {
+			space, w = false, 1
+			if c := line[i]; c < utf8.RuneSelf {
+				space = asciiSpace[c] == 1
+			} else {
+				var r rune
+				r, w = utf8.DecodeRuneInString(line[i:])
+				space = unicode.IsSpace(r)
+			}
+			if space {
+				break
+			}
+			i += w
+		}
+		if n < len(dst) {
+			dst[n] = line[start:i]
+		}
+		n++
+	}
+	return n
+}
+
+// Parse decodes one trace line. It allocates only on error: the field
+// scanner and the strconv parsers all work on substrings of line.
 func Parse(line string) (Record, error) {
-	f := strings.Fields(line)
-	if len(f) != 11 {
-		return Record{}, fmt.Errorf("trace: want 11 fields, got %d in %q", len(f), line)
+	var f [11]string
+	if n := splitFields(line, f[:]); n != 11 {
+		return Record{}, fmt.Errorf("trace: want 11 fields, got %d in %q", n, line)
 	}
 	var r Record
 	if len(f[0]) != 1 {
@@ -163,20 +239,25 @@ func parseAddr(s string) (packet.NodeID, int, error) {
 	return packet.NodeID(h), p, nil
 }
 
-// writeLine writes one record in the trace-file line format. It is the
-// single line writer behind both Collector streaming and WriteAll, so the
-// on-disk format has exactly one producer.
-func writeLine(w io.Writer, r Record) error {
-	_, err := fmt.Fprintln(w, r.Line())
-	return err
+// writeLine writes one record (plus newline) to w, encoding into buf's
+// capacity, and returns the buffer for reuse. It is the single line writer
+// behind both Collector streaming and WriteAll, so the on-disk format has
+// exactly one producer.
+func writeLine(w io.Writer, buf []byte, r Record) ([]byte, error) {
+	buf = r.AppendLine(buf[:0])
+	buf = append(buf, '\n')
+	_, err := w.Write(buf)
+	return buf, err
 }
 
 // WriteAll writes records to w one line each, buffered — the inverse of
 // ReadAll.
 func WriteAll(w io.Writer, recs []Record) error {
 	bw := bufio.NewWriter(w)
+	var buf []byte
+	var err error
 	for _, r := range recs {
-		if err := writeLine(bw, r); err != nil {
+		if buf, err = writeLine(bw, buf, r); err != nil {
 			return fmt.Errorf("trace: write: %w", err)
 		}
 	}
@@ -191,6 +272,7 @@ func WriteAll(w io.Writer, recs []Record) error {
 type Collector struct {
 	recs []Record
 	w    io.Writer
+	buf  []byte // reused line-encoding buffer for the streaming path
 	err  error
 }
 
@@ -202,7 +284,7 @@ func NewCollector(w io.Writer) *Collector { return &Collector{w: w} }
 func (c *Collector) Add(r Record) {
 	c.recs = append(c.recs, r)
 	if c.w != nil && c.err == nil {
-		c.err = writeLine(c.w, r)
+		c.buf, c.err = writeLine(c.w, c.buf, r)
 	}
 }
 
