@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-obs bench-parallel bench-hot fuzz
+.PHONY: build test verify bench bench-obs bench-parallel bench-hot bench-guard fuzz fuzz-nightly lint
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,28 @@ bench-hot:
 	$(GO) test -bench='BenchmarkTrace(Encode|Decode)$$' -benchmem -benchtime=2s -run='^$$' ./internal/trace
 	$(GO) test -bench='BenchmarkTrial1Baseline$$' -benchmem -benchtime=5x -run='^$$' .
 
+# bench-guard is the benchmark-regression gate: run the tracked hot-path
+# benchmarks and judge them against BENCH_PR3.json with cmd/benchguard
+# (any alloc/op regression, or >20% ns/op by default, fails).
+bench-guard:
+	$(GO) build -o /tmp/benchguard ./cmd/benchguard
+	$(MAKE) --no-print-directory bench-hot | tee /tmp/bench-hot.txt
+	/tmp/benchguard -baseline BENCH_PR3.json -input /tmp/bench-hot.txt
+
 # fuzz exercises the trace-line round trip for a short burst.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseLine -fuzztime=30s ./internal/trace
+
+# fuzz-nightly is the scheduled CI fuzz budget: the trace codec and the
+# full-stack topology-conservation target, a couple of minutes each.
+FUZZTIME ?= 2m
+fuzz-nightly:
+	$(GO) test -run='^$$' -fuzz=FuzzParseLine -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzTopologyConservation -fuzztime=$(FUZZTIME) ./internal/scenario
+
+# lint runs the static analyzers CI uses; tools are expected on PATH
+# (CI installs them, see .github/workflows/ci.yml).
+lint:
+	$(GO) vet ./...
+	staticcheck ./...
+	govulncheck ./...

@@ -7,6 +7,11 @@
 //	eblreport -j 4                   # fan independent runs across 4 workers
 //	eblreport -stats                 # plus per-trial telemetry summaries
 //	eblreport -stats-json report.ndjson  # machine-readable trial metrics
+//	eblreport -degrade               # only the fault-injection degradation report
+//
+// The degradation report sweeps the fault layer's loss axis per MAC and
+// tabulates how delay, throughput, and the braking-safety margin erode as
+// the channel worsens — the fault-injection analogue of §III.E.
 //
 // The three trials and the replication study's seeded runs execute on a
 // bounded worker pool (-j, default one worker per CPU); results are
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"vanetsim"
 )
@@ -35,11 +41,51 @@ func run(args []string, out io.Writer) error {
 		jobs     = fs.Int("j", 0, "concurrent simulation runs (0 = one per CPU); output is identical at every -j")
 		stats    = fs.Bool("stats", false, "append per-trial telemetry summaries to the report")
 		statsJSN = fs.String("stats-json", "", "write all trials' telemetry as NDJSON to this path")
+		degrade  = fs.Bool("degrade", false, "print only the fault-injection degradation report")
+		degCSV   = fs.String("degrade-csv", "", "also write the degradation points as CSV to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *degrade {
+		return degradationReport(out, *jobs, *degCSV)
+	}
 	return reportWith(out, *jobs, *stats, *statsJSN)
+}
+
+// degradationReport sweeps channel loss per MAC and tabulates how delay,
+// throughput, and the braking-safety margin erode.
+func degradationReport(out io.Writer, jobs int, csvPath string) error {
+	fmt.Fprintln(out, "Degradation under channel loss — fault-injection analogue of §III.E")
+	fmt.Fprintln(out, "====================================================================")
+
+	var csv strings.Builder
+	for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
+		cfg := vanetsim.DefaultDegradation(mac)
+		cfg.Jobs = jobs
+		pts := vanetsim.RunDegradation(cfg)
+		fmt.Fprintf(out, "\n%v MAC (independent losses, %.0f s per point):\n",
+			mac, float64(cfg.Base.Duration))
+		fmt.Fprint(out, vanetsim.FormatDegradationTable(pts))
+		if csvPath != "" {
+			for _, line := range strings.SplitAfter(vanetsim.DegradationCSV(pts), "\n") {
+				if line == "" || (csv.Len() > 0 && strings.HasPrefix(line, "loss_prob,")) {
+					continue // one header for the whole file
+				}
+				if strings.HasPrefix(line, "loss_prob,") {
+					csv.WriteString("mac," + line)
+					continue
+				}
+				csv.WriteString(mac.String() + "," + line)
+			}
+		}
+	}
+	fmt.Fprintln(out, "\nmargin_m is the 25 m following gap minus the minimum safe gap at the")
+	fmt.Fprintln(out, "measured trailing-vehicle indication delay (negative = crash region).")
+	if csvPath != "" {
+		return os.WriteFile(csvPath, []byte(csv.String()), 0o644)
+	}
+	return nil
 }
 
 // report writes the plain evaluation report (kept for tests and callers

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -23,5 +25,41 @@ func TestReportCoversEverything(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q", want)
 		}
+	}
+}
+
+func TestDegradationReport(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "deg.csv")
+	var sb strings.Builder
+	if err := run([]string{"-degrade", "-degrade-csv", csvPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Degradation under channel loss", "TDMA MAC", "802.11 MAC",
+		"margin_m", "crash region",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("degradation report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Figure shapes") {
+		t.Fatal("-degrade must print only the degradation report")
+	}
+	raw, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	// One header + 7 loss rates x 2 MACs.
+	if len(lines) != 15 {
+		t.Fatalf("csv has %d lines, want 15:\n%s", len(lines), raw)
+	}
+	if lines[0] != "mac,loss_prob,avg_delay_s,max_delay_s,first_delay_s,throughput_mbps,tcp_retransmits,injected_drops,safety_margin_m,safe" {
+		t.Fatalf("csv header wrong: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "TDMA,0,") || !strings.HasPrefix(lines[8], "802.11,0,") {
+		t.Fatalf("csv rows out of order:\n%s", raw)
 	}
 }

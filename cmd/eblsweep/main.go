@@ -10,6 +10,15 @@
 //	eblsweep -stats     # add per-run telemetry to the progress lines
 //	eblsweep -stats-json runs.ndjson  # append all runs' metrics, NDJSON
 //
+// The degradation sweep drives the fault-injection layer across its three
+// axes — stationary loss probability, mean burst length, and an optional
+// radio-outage window — and reports delay, throughput, and safety margin
+// at each point:
+//
+//	eblsweep -degrade
+//	eblsweep -degrade -degrade-loss 0,0.1,0.3 -degrade-burst 1,4,16
+//	eblsweep -degrade -degrade-outage 1:22:5   # node 1 down for [22s, 27s)
+//
 // Runs fan out across a bounded worker pool (-j), but all output is
 // reduced in submission order: stdout tables, the stderr progress
 // stream, and the NDJSON file are byte-identical at every -j, so
@@ -25,6 +34,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"vanetsim"
 	"vanetsim/internal/prof"
@@ -69,6 +80,11 @@ func runWith(args []string, out, progress io.Writer) (err error) {
 		statsJSN   = fs.String("stats-json", "", "append every run's telemetry as NDJSON to this path")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf    = fs.String("memprofile", "", "write an allocation profile to this path")
+		degrade    = fs.Bool("degrade", false, "run only the fault-injection degradation sweep")
+		degLoss    = fs.String("degrade-loss", "0,0.02,0.05,0.1,0.2", "comma-separated stationary loss probabilities")
+		degBurst   = fs.String("degrade-burst", "1,4", "comma-separated mean burst lengths (1 = independent losses)")
+		degOutage  = fs.String("degrade-outage", "", "radio outage applied at every point, as node:start:duration")
+		degMAC     = fs.String("degrade-mac", "tdma", "MAC for the degradation sweep: tdma or 802.11")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +112,13 @@ func runWith(args []string, out, progress io.Writer) (err error) {
 		}
 		defer f.Close()
 		opts.jsonW = f
+	}
+	if *degrade {
+		axes, err := parseDegradeAxes(*degLoss, *degBurst, *degOutage, *degMAC)
+		if err != nil {
+			return err
+		}
+		return degradeSweep(out, *duration, axes, opts)
 	}
 	if !*perfOnly {
 		if err := safetyMatrix(out, *duration, opts); err != nil {
@@ -129,7 +152,10 @@ type runOut struct {
 // points can run concurrently.
 func runPoint(p point, opts sweepOpts) (*runOut, error) {
 	cfg := p.cfg
-	cfg.Telemetry = opts.telemetry()
+	// OR, don't overwrite: sweeps that need telemetry for their own
+	// reduction (the degradation sweep reads fault counters) keep it even
+	// when no -stats/-stats-json sink asked for it.
+	cfg.Telemetry = cfg.Telemetry || opts.telemetry()
 	o := &runOut{result: vanetsim.RunTrial(cfg)}
 	o.progress = fmt.Sprintf("eblsweep: %s mac=%v size=%d done (%.0f s sim)",
 		p.sweep, cfg.MAC, cfg.PacketSize, float64(cfg.Duration))
@@ -234,6 +260,108 @@ func safetyMatrix(out io.Writer, duration float64, opts sweepOpts) error {
 	}
 	fmt.Fprintln(out)
 	return nil
+}
+
+// degradeAxes are the parsed fault-injection sweep axes.
+type degradeAxes struct {
+	losses []float64
+	bursts []float64
+	outage vanetsim.FaultOutage // Duration 0 = none
+	mac    vanetsim.MACType
+}
+
+func parseDegradeAxes(loss, burst, outage, mac string) (degradeAxes, error) {
+	var a degradeAxes
+	var err error
+	if a.losses, err = parseFloats(loss); err != nil {
+		return a, fmt.Errorf("-degrade-loss: %w", err)
+	}
+	if a.bursts, err = parseFloats(burst); err != nil {
+		return a, fmt.Errorf("-degrade-burst: %w", err)
+	}
+	if len(a.losses) == 0 || len(a.bursts) == 0 {
+		return a, fmt.Errorf("-degrade-loss and -degrade-burst need at least one value")
+	}
+	if outage != "" {
+		if a.outage, err = vanetsim.ParseFaultOutage(outage); err != nil {
+			return a, err
+		}
+	}
+	switch strings.ToLower(mac) {
+	case "tdma":
+		a.mac = vanetsim.MACTDMA
+	case "802.11", "dcf", "80211":
+		a.mac = vanetsim.MAC80211
+	default:
+		return a, fmt.Errorf("-degrade-mac: unknown MAC %q", mac)
+	}
+	return a, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// degradeSweep drives the fault layer across loss × burst-length (with an
+// optional fixed outage) and reports how delay, throughput, and the
+// braking-safety margin degrade.
+func degradeSweep(out io.Writer, duration float64, axes degradeAxes, opts sweepOpts) error {
+	fmt.Fprintf(out, "Degradation sweep: %v MAC, loss x burst length", axes.mac)
+	if axes.outage.Duration > 0 {
+		fmt.Fprintf(out, ", node %v down [%g s, %g s)", axes.outage.Node,
+			float64(axes.outage.Start), float64(axes.outage.Start+axes.outage.Duration))
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%6s %8s %10s %10s %10s %8s %9s %10s %5s\n",
+		"burst", "loss", "avg_dly_s", "first_s", "mbps", "rtx", "injected", "margin_m", "safe")
+
+	base := vanetsim.Trial1()
+	base.MAC = axes.mac
+	if axes.mac == vanetsim.MAC80211 {
+		base = vanetsim.Trial3()
+	}
+	base.Duration = vanetsim.Seconds(duration)
+	base.Telemetry = true // the reducer reads fault counters
+
+	type axis struct{ burst, loss float64 }
+	var grid []axis
+	var points []point
+	for _, b := range axes.bursts {
+		for _, l := range axes.losses {
+			cfg := base
+			plan := vanetsim.FaultPlan{}
+			if b > 1 {
+				plan.Burst = vanetsim.BurstFault(l, b)
+			} else {
+				plan.Bernoulli = vanetsim.FaultBernoulli{LossProb: l}
+			}
+			if axes.outage.Duration > 0 {
+				plan.Outages = []vanetsim.FaultOutage{axes.outage}
+			}
+			cfg.Faults = plan
+			grid = append(grid, axis{b, l})
+			points = append(points, point{sweep: "degrade", cfg: cfg})
+		}
+	}
+	return sweepAll(points, opts, func(i int, r *vanetsim.TrialResult) error {
+		p := vanetsim.DegradationPointFrom(base, grid[i].loss, r)
+		fmt.Fprintf(out, "%6.0f %8.3f %10.4f %10.4f %10.4f %8d %9d %10.2f %5v\n",
+			grid[i].burst, p.LossProb, p.MeanDelayS, p.FirstDelayS,
+			p.ThroughputMbps, p.Retransmits, p.Injected, p.SafetyMarginM, p.Safe)
+		return nil
+	})
 }
 
 // perfSweep runs the MAC × packet-size grid and prints a CSV-ish table.

@@ -137,3 +137,52 @@ func TestSafetyMatrixRefusesMissingIndication(t *testing.T) {
 		t.Fatal("matrix was printed despite the missing indication delay")
 	}
 }
+
+func TestDegradeSweep(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-degrade", "-duration", "30",
+		"-degrade-loss", "0,0.2", "-degrade-burst", "1,4",
+		"-degrade-outage", "1:22:5"}
+	if err := runWith(args, &sb, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Degradation sweep") || !strings.Contains(out, "node 1 down [22 s, 27 s)") {
+		t.Fatalf("degradation header wrong:\n%s", out)
+	}
+	if strings.Contains(out, "Safety matrix") || strings.Contains(out, "Performance sweep") {
+		t.Fatal("-degrade must print only the degradation sweep")
+	}
+	// 2 loss rates x 2 burst lengths = 4 data rows after header + column line.
+	if got := strings.Count(out, "\n") - 2; got != 4 {
+		t.Fatalf("got %d data rows, want 4:\n%s", got, out)
+	}
+}
+
+func TestDegradeSweepIdenticalAcrossJobs(t *testing.T) {
+	mk := func(jobs string) string {
+		var sb strings.Builder
+		args := []string{"-degrade", "-duration", "30", "-j", jobs,
+			"-degrade-loss", "0,0.1,0.2", "-degrade-burst", "1"}
+		if err := runWith(args, &sb, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := mk("1"), mk("8"); a != b {
+		t.Fatalf("-degrade output differs between -j1 and -j8:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestDegradeAxisErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-degrade", "-degrade-loss", "nope"},
+		{"-degrade", "-degrade-burst", ""},
+		{"-degrade", "-degrade-outage", "1:2"},
+		{"-degrade", "-degrade-mac", "csma"},
+	} {
+		if err := runWith(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -11,6 +11,14 @@
 //	vanetsim -mac 802.11 -packet 500  # a configuration the paper didn't run
 //	vanetsim -trial 3 -stats          # tables plus the telemetry summary
 //	vanetsim -trial 1 -stats-json m.ndjson  # machine-readable run report
+//
+// Fault injection (deterministic, seedable; see README "Fault injection"):
+//
+//	vanetsim -trial 1 -loss 0.05              # 5% independent frame loss
+//	vanetsim -trial 1 -ber 1e-6               # per-bit error rate
+//	vanetsim -trial 3 -burst-loss 0.1 -burst-len 4  # bursty Gilbert–Elliott loss
+//	vanetsim -trial 1 -shadow 6               # 6 dB log-normal shadowing
+//	vanetsim -trial 1 -outage 1:22:5 -outage 4:10:3  # radios down (node:start:dur)
 package main
 
 import (
@@ -48,7 +56,14 @@ func run(args []string, out io.Writer) (err error) {
 		stats    = fs.Bool("stats", false, "print the cross-layer telemetry summary after the run")
 		statsJSN = fs.String("stats-json", "", "write run telemetry as NDJSON to this path")
 		statsPrm = fs.String("stats-prom", "", "write run telemetry in Prometheus text format to this path")
+		loss     = fs.Float64("loss", 0, "independent per-frame loss probability")
+		ber      = fs.Float64("ber", 0, "independent per-bit error rate")
+		burstP   = fs.Float64("burst-loss", 0, "stationary loss probability of the bursty (Gilbert–Elliott) model")
+		burstLen = fs.Float64("burst-len", 4, "mean burst length in frames for -burst-loss")
+		shadow   = fs.Float64("shadow", 0, "log-normal shadowing standard deviation in dB")
+		outages  outageList
 	)
+	fs.Var(&outages, "outage", "radio outage as node:start:duration seconds (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +108,18 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	cfg.CollectTrace = *traceOut != ""
 	cfg.Telemetry = *stats || *statsJSN != "" || *statsPrm != ""
+	if *burstP < 0 || *burstP > 1 {
+		return fmt.Errorf("-burst-loss %v outside [0, 1]", *burstP)
+	}
+	cfg.Faults = vanetsim.FaultPlan{
+		Bernoulli:     vanetsim.FaultBernoulli{LossProb: *loss, BitErrorRate: *ber},
+		Burst:         vanetsim.BurstFault(*burstP, *burstLen),
+		ShadowSigmaDB: *shadow,
+		Outages:       outages,
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return err
+	}
 	if *animate {
 		cfg.AnimInterval = 2 // seconds per frame
 	}
@@ -164,6 +191,26 @@ func run(args []string, out io.Writer) (err error) {
 	fmt.Fprintln(out, "\nStopping-distance analysis (initial packet, platoon 1):")
 	fmt.Fprint(out, vanetsim.FormatStoppingTable(vanetsim.StoppingTable(r)))
 	return emitStats()
+}
+
+// outageList collects repeated -outage flags.
+type outageList []vanetsim.FaultOutage
+
+func (l *outageList) String() string {
+	var parts []string
+	for _, o := range *l {
+		parts = append(parts, fmt.Sprintf("%v:%g:%g", o.Node, float64(o.Start), float64(o.Duration)))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l *outageList) Set(s string) error {
+	o, err := vanetsim.ParseFaultOutage(s)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, o)
+	return nil
 }
 
 // writeSnapshot streams one telemetry export format to path.

@@ -99,3 +99,43 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunFaultFlags(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-trial", "1", "-duration", "30", "-stats",
+		"-loss", "0.05", "-shadow", "4", "-outage", "1:22:5", "-outage", "4:10:3"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fault/rx_impaired", "fault/rx_dropped_outage", "fault/outage_seconds",
+		"fault/shadow_samples",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("faulted run output missing %q", want)
+		}
+	}
+
+	sb.Reset()
+	if err := run([]string{"-trial", "1", "-duration", "30", "-stats"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "fault/") {
+		t.Fatal("unfaulted run leaked fault telemetry")
+	}
+}
+
+func TestRunFaultFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-outage", "1:22"},
+		{"-outage", "x:1:2"},
+		{"-loss", "1.5"},
+		{"-burst-loss", "-0.1"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

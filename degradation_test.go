@@ -1,0 +1,92 @@
+package vanetsim_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vanetsim"
+)
+
+func shortDegradation(lossProbs ...float64) vanetsim.DegradationConfig {
+	cfg := vanetsim.DefaultDegradation(vanetsim.MACTDMA)
+	cfg.Base.Duration = vanetsim.Seconds(30)
+	cfg.LossProbs = lossProbs
+	return cfg
+}
+
+func TestDegradationSweepMonotoneInjection(t *testing.T) {
+	cfg := shortDegradation(0, 0.1, 0.3)
+	pts := vanetsim.RunDegradation(cfg)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	if pts[0].Injected != 0 {
+		t.Fatalf("clean point injected %d drops", pts[0].Injected)
+	}
+	// Absolute injection counts are not monotone — heavier loss collapses
+	// TCP's offered load, shrinking the frame population — so assert only
+	// that every faulted point injects.
+	if pts[1].Injected == 0 || pts[2].Injected == 0 {
+		t.Fatalf("faulted points injected nothing: %d, %d", pts[1].Injected, pts[2].Injected)
+	}
+	if pts[2].ThroughputMbps >= pts[0].ThroughputMbps {
+		t.Fatalf("30%% loss did not cut throughput: %.4f vs %.4f Mbps",
+			pts[2].ThroughputMbps, pts[0].ThroughputMbps)
+	}
+	if pts[2].Retransmits <= pts[0].Retransmits {
+		t.Fatalf("30%% loss did not force TCP retransmissions: %d vs %d",
+			pts[2].Retransmits, pts[0].Retransmits)
+	}
+	// The default braking model's 5 m margin already makes the paper's
+	// 25 m / 50 mph point marginal for the trailing vehicle, so assert
+	// degradation, not absolute safety: loss can only delay the first
+	// packet, never speed it up.
+	if pts[2].SafetyMarginM > pts[0].SafetyMarginM {
+		t.Fatalf("safety margin improved under 30%% loss: %.2f m vs %.2f m",
+			pts[2].SafetyMarginM, pts[0].SafetyMarginM)
+	}
+	if math.IsInf(pts[0].SafetyMarginM, -1) || math.IsNaN(pts[0].FirstDelayS) {
+		t.Fatal("clean channel delivered no first packet")
+	}
+}
+
+func TestDegradationBurstModeAndOutage(t *testing.T) {
+	cfg := shortDegradation(0.1)
+	cfg.BurstLen = 4
+	cfg.ShadowSigmaDB = 4
+	cfg.Outage = vanetsim.FaultOutage{Node: 1, Start: 22, Duration: 5}
+	pts := vanetsim.RunDegradation(cfg)
+	if len(pts) != 1 || pts[0].Injected == 0 {
+		t.Fatalf("burst-mode point injected nothing: %+v", pts)
+	}
+}
+
+func TestDegradationOrderIndependentOfJobs(t *testing.T) {
+	mk := func(jobs int) []vanetsim.DegradationPoint {
+		cfg := shortDegradation(0, 0.05, 0.1, 0.2)
+		cfg.Jobs = jobs
+		return vanetsim.RunDegradation(cfg)
+	}
+	a, b := mk(1), mk(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("point %d differs between -j1 and -j8:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDegradationRenderers(t *testing.T) {
+	pts := vanetsim.RunDegradation(shortDegradation(0, 0.2))
+	table := vanetsim.FormatDegradationTable(pts)
+	if !strings.Contains(table, "margin_m") || len(strings.Split(strings.TrimSpace(table), "\n")) != 3 {
+		t.Fatalf("bad table:\n%s", table)
+	}
+	csv := vanetsim.DegradationCSV(pts)
+	if !strings.HasPrefix(csv, "loss_prob,") || len(strings.Split(strings.TrimSpace(csv), "\n")) != 3 {
+		t.Fatalf("bad csv:\n%s", csv)
+	}
+	if vanetsim.RunDegradation(shortDegradation()) != nil {
+		t.Fatal("empty sweep must return nil")
+	}
+}

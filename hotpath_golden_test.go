@@ -90,24 +90,32 @@ func runGoldenCase(t *testing.T, cfg vanetsim.TrialConfig, fig func(*vanetsim.Tr
 	}
 }
 
-func TestHotPathDeterminismGolden(t *testing.T) {
-	got := map[string]goldenDigests{
-		"trial1-tdma":  runGoldenCase(t, vanetsim.Trial1(), vanetsim.Fig5),
-		"trial3-80211": runGoldenCase(t, vanetsim.Trial3(), vanetsim.Fig11),
-	}
-
+// checkGolden compares got against the pinned digests, or — under
+// -update-golden — merges got into the golden file, leaving keys owned by
+// other tests untouched.
+func checkGolden(t *testing.T, got map[string]goldenDigests) {
+	t.Helper()
 	if *updateGolden {
+		merged := map[string]goldenDigests{}
+		if raw, err := os.ReadFile(goldenPath); err == nil {
+			if err := json.Unmarshal(raw, &merged); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for name, g := range got {
+			merged[name] = g
+		}
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		b, err := json.MarshalIndent(got, "", "  ")
+		b, err := json.MarshalIndent(merged, "", "  ")
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("rewrote %s", goldenPath)
+		t.Logf("rewrote %s (%d cases)", goldenPath, len(merged))
 		return
 	}
 
@@ -122,11 +130,18 @@ func TestHotPathDeterminismGolden(t *testing.T) {
 	for name, g := range got {
 		w, ok := want[name]
 		if !ok {
-			t.Errorf("%s: missing from golden file", name)
+			t.Errorf("%s: missing from golden file (run with -update-golden)", name)
 			continue
 		}
 		if g != w {
 			t.Errorf("%s: output digests changed:\n got %+v\nwant %+v", name, g, w)
 		}
 	}
+}
+
+func TestHotPathDeterminismGolden(t *testing.T) {
+	checkGolden(t, map[string]goldenDigests{
+		"trial1-tdma":  runGoldenCase(t, vanetsim.Trial1(), vanetsim.Fig5),
+		"trial3-80211": runGoldenCase(t, vanetsim.Trial3(), vanetsim.Fig11),
+	})
 }

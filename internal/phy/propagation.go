@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"vanetsim/internal/geom"
+	"vanetsim/internal/sim"
 )
 
 // SpeedOfLight is the propagation speed used for over-the-air delay, m/s.
@@ -92,6 +93,67 @@ func (m TwoRayGround) Range(txPower, thresh float64) float64 {
 	}
 	return d
 }
+
+// Shadowing decorates a base propagation model with log-normal shadowing:
+// each received-power computation is scaled by 10^(X/10) where X is a fresh
+// zero-mean Gaussian in dB. This is the standard model for the bursty,
+// building-induced power swings that intersection measurements show, and it
+// is how the fault layer degrades the channel below the deterministic
+// two-ray prediction.
+//
+// Shadowing draws from its own RNG stream, forked from the run seed, so
+// enabling it never perturbs any other layer's randomness; and because a
+// run is single-threaded, the draw sequence (one per channel-broadcast
+// power computation, in radio attach order) is deterministic. Range
+// deliberately delegates to the base model: it reports the *median* range,
+// which is what slot-timing and topology helpers want.
+type Shadowing struct {
+	// Base is the deterministic model being decorated.
+	Base Propagation
+	// SigmaDB is the shadowing standard deviation in dB (typical outdoor
+	// values: 4–8 dB).
+	SigmaDB float64
+
+	rng     *sim.RNG
+	samples uint64
+}
+
+var _ Propagation = (*Shadowing)(nil)
+
+// NewShadowing wraps base with log-normal shadowing of the given sigma,
+// drawing from rng (which the decorator owns).
+func NewShadowing(base Propagation, sigmaDB float64, rng *sim.RNG) *Shadowing {
+	if base == nil {
+		panic("phy: NewShadowing with nil base model")
+	}
+	if rng == nil {
+		panic("phy: NewShadowing with nil RNG")
+	}
+	if sigmaDB < 0 || math.IsNaN(sigmaDB) {
+		panic("phy: NewShadowing with negative sigma")
+	}
+	return &Shadowing{Base: base, SigmaDB: sigmaDB, rng: rng}
+}
+
+// RxPower implements Propagation: the base model's power scaled by a fresh
+// log-normal draw.
+func (m *Shadowing) RxPower(txPower float64, src, dst geom.Vec2) float64 {
+	p := m.Base.RxPower(txPower, src, dst)
+	if p <= 0 || m.SigmaDB == 0 {
+		return p
+	}
+	m.samples++
+	return p * math.Pow(10, m.rng.Normal(0, m.SigmaDB)/10)
+}
+
+// Range implements Propagation by delegating to the base model (the median
+// range under zero-mean shadowing).
+func (m *Shadowing) Range(txPower, thresh float64) float64 {
+	return m.Base.Range(txPower, thresh)
+}
+
+// Samples returns how many shadowing draws have been made, for telemetry.
+func (m *Shadowing) Samples() uint64 { return m.samples }
 
 // RadioParams are the per-radio RF constants. DefaultRadioParams matches
 // ns-2's 914 MHz Lucent WaveLAN card, giving a 250 m receive range and a

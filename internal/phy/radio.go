@@ -55,6 +55,25 @@ type Stats struct {
 	RxWhileTx     int // arrivals ignored because the radio was transmitting
 	RxBelowThresh int // arrivals sensed but too weak to decode
 	RxAbortedByTx int // in-progress receptions destroyed by our own transmission
+
+	// Fault-injection outcomes. These stay zero unless an Impairment is
+	// installed or the radio is taken down (see SetDown); no silent path
+	// exists — every frame a fault destroys is counted in exactly one of
+	// them, mirroring the RxAbortedByTx accounting.
+	RxImpaired        int // intact receptions destroyed by injected impairment
+	RxDroppedOutage   int // arrivals (or in-progress receptions) lost to a radio outage
+	TxSuppressedOutage int // transmissions attempted while the radio was down
+}
+
+// Impairment is the pluggable fault-injection hook consulted once for every
+// frame that would otherwise be delivered intact: returning true destroys
+// the frame (it reaches the MAC marked corrupted, like a failed checksum).
+// Collision- or SINR-corrupted frames are never offered to it, so an
+// impairment model's randomness is consumed only for genuine decisions. A
+// nil impairment costs one pointer check per delivery and nothing else.
+type Impairment interface {
+	// DropRx judges the frame p arriving intact at radio dst.
+	DropRx(dst packet.NodeID, p *packet.Packet) bool
 }
 
 // Radio is one node's transceiver. It is half-duplex: transmitting blinds
@@ -75,6 +94,8 @@ type Radio struct {
 	rx        *reception
 	busyUntil sim.Time
 	idleTimer sim.Timer
+	down      bool
+	imp       Impairment
 
 	// interfW is the aggregate power of all arrivals not locked onto,
 	// maintained only in SINR mode.
@@ -139,6 +160,38 @@ func (r *Radio) Freq() int {
 	return r.freq()
 }
 
+// SetImpairment installs a fault-injection model consulted on every intact
+// reception. Pass nil to remove it.
+func (r *Radio) SetImpairment(imp Impairment) { r.imp = imp }
+
+// SetDown takes the radio off the air (true) or recovers it (false). A down
+// radio transmits no energy and hears no arrivals; a reception in progress
+// when it goes down is destroyed and counted in RxDroppedOutage. Recovery
+// re-checks carrier state so a CSMA MAC waiting on an idle medium is not
+// left stuck.
+func (r *Radio) SetDown(down bool) {
+	if r.down == down {
+		return
+	}
+	r.down = down
+	if !down {
+		r.maybeIdle()
+		return
+	}
+	if r.rx != nil {
+		// The locked frame is lost; its end-of-frame event releases the
+		// reception struct when it finds r.rx changed.
+		r.stats.RxDroppedOutage++
+		r.rx = nil
+	}
+	if r.state == Receiving {
+		r.state = Idle
+	}
+}
+
+// Down reports whether the radio is currently in an injected outage.
+func (r *Radio) Down() bool { return r.down }
+
 // State returns the transceiver state.
 func (r *Radio) State() State { return r.state }
 
@@ -183,6 +236,15 @@ func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) {
 	if duration <= 0 {
 		panic("phy: non-positive transmit duration")
 	}
+	if r.down {
+		// Outage: the MAC's transmit state machine proceeds normally, but
+		// no energy leaves the antenna — the frame is silently lost on air,
+		// and counted here rather than vanishing.
+		r.stats.TxSuppressedOutage++
+		r.state = Transmitting
+		r.sched.ScheduleKind(sim.KindPHY, duration, r.txDoneFn)
+		return
+	}
 	if r.rx != nil {
 		// Half-duplex: the in-progress reception is lost. The reception's
 		// end-of-frame event releases it when it finds r.rx changed.
@@ -199,6 +261,12 @@ func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) {
 // frameArrives is called by the channel when the first bit of a frame
 // reaches this radio (power already above CSThreshW).
 func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time) {
+	if r.down {
+		// A dead radio hears nothing: no carrier sense, no interference
+		// bookkeeping — but the loss is counted, never silent.
+		r.stats.RxDroppedOutage++
+		return
+	}
 	now := r.sched.Now()
 	end := now + duration
 	wasBusy := r.CarrierBusy()
@@ -298,14 +366,18 @@ func (r *Radio) finishReception(rec *reception) {
 		rec.corrupted = true
 	}
 	p, corrupted := rec.p, rec.corrupted
-	if corrupted {
+	impaired := !corrupted && r.imp != nil && r.imp.DropRx(r.id, p)
+	switch {
+	case impaired:
+		r.stats.RxImpaired++
+	case corrupted:
 		r.stats.RxCollided++
-	} else {
+	default:
 		r.stats.RxOK++
 	}
 	r.releaseReception(rec)
 	if r.mac != nil {
-		r.mac.RecvFromPhy(p, corrupted)
+		r.mac.RecvFromPhy(p, corrupted || impaired)
 	}
 	r.maybeIdle()
 }

@@ -153,6 +153,32 @@ func (w *World) HarvestTelemetry(wallStart time.Time, comms ...*ebl.PlatoonComms
 		}
 	}
 
+	// Fault layer — registered only when a plan is active, so an unfaulted
+	// run's telemetry export is byte-identical to one built without the
+	// fault package at all.
+	if w.cfg.Faults.Enabled() {
+		var rxOut, txOut, imp int
+		for _, n := range w.Nodes {
+			ps := n.Radio.Stats()
+			rxOut += ps.RxDroppedOutage
+			txOut += ps.TxSuppressedOutage
+			imp += ps.RxImpaired
+		}
+		add("fault/rx_impaired", "intact receptions destroyed by error models", imp)
+		add("fault/rx_dropped_outage", "arrivals and in-progress receptions lost to radio outages", rxOut)
+		add("fault/tx_suppressed_outage", "transmissions suppressed while a radio was down", txOut)
+		fs := w.FaultStats()
+		add("fault/rx_dropped_bernoulli", "frames destroyed by the Bernoulli error model", fs.DroppedBernoulli)
+		add("fault/rx_dropped_burst", "frames destroyed by Gilbert–Elliott bursts", fs.DroppedBurst)
+		add("fault/rx_dropped_data_frames", "destroyed frames carrying transport or application data", fs.DroppedData)
+		add("fault/burst_transitions", "Gilbert–Elliott state flips across all links", fs.BurstTransitions)
+		if w.shadow != nil {
+			r.Counter("fault/shadow_samples", "log-normal shadowing draws").Add(w.shadow.Samples())
+		}
+		r.Gauge("fault/outage_seconds", "scheduled radio-down time within the run").
+			Set(w.cfg.Faults.OutageSeconds(w.Sched.Now()))
+	}
+
 	// Scheduler execution profile.
 	s := w.Sched
 	r.Counter("sched/events_executed", "events fired by the scheduler").Add(s.Executed())

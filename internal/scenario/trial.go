@@ -6,6 +6,7 @@ import (
 
 	"vanetsim/internal/anim"
 	"vanetsim/internal/ebl"
+	"vanetsim/internal/fault"
 	"vanetsim/internal/geom"
 	"vanetsim/internal/metrics"
 	"vanetsim/internal/mobility"
@@ -47,6 +48,10 @@ type TrialConfig struct {
 	// AnimInterval enables position recording (the Nam-animator role)
 	// with the given sample period; 0 disables it.
 	AnimInterval sim.Time
+	// Faults is the impairment recipe (packet/bit error models, bursty
+	// loss, shadowing, scheduled outages). The zero value injects nothing:
+	// an unfaulted run is byte-identical with or without this field.
+	Faults fault.Plan
 }
 
 // defaultTrial fills the fixed parameters shared by all three trials.
@@ -145,6 +150,7 @@ func RunTrial(cfg TrialConfig) *TrialResult {
 		stack.TDMA.DataRateBps = cfg.TDMARateBps
 	}
 	stack.Radio.SINRMode = cfg.SINRPhy
+	stack.Faults = cfg.Faults
 	if cfg.Telemetry {
 		stack.Obs = obs.NewRegistry()
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"vanetsim/internal/aodv"
+	"vanetsim/internal/fault"
 	"vanetsim/internal/mac"
 	"vanetsim/internal/mac80211"
 	"vanetsim/internal/mactdma"
@@ -66,6 +67,9 @@ type StackConfig struct {
 	// observation-only: the same seed produces identical runs with it on
 	// or off.
 	Obs *obs.Registry
+	// Faults is the impairment recipe. The zero value injects nothing and
+	// leaves every unfaulted golden digest untouched.
+	Faults fault.Plan
 }
 
 // DefaultStackConfig returns the paper's fixed parameters: drop-tail
@@ -112,24 +116,51 @@ type World struct {
 	cfg      StackConfig
 	schedule *mactdma.Schedule // TDMA worlds only
 	live     liveInstruments
+	fault    *fault.Injector // nil unless a per-link loss model is enabled
+	shadow   *phy.Shadowing  // nil unless shadowing is enabled
 }
 
 // NewWorld creates an empty world with the given stack recipe and seed.
 func NewWorld(cfg StackConfig, seed uint64) *World {
+	if err := cfg.Faults.Validate(); err != nil {
+		panic(err)
+	}
 	s := sim.New()
+	rng := sim.NewRNG(seed)
+	prop := cfg.Prop
+	var shadow *phy.Shadowing
+	if cfg.Faults.ShadowSigmaDB > 0 {
+		// Shadowing draws from its own forked stream (Fork reads without
+		// advancing), so enabling it shifts no other layer's randomness.
+		shadow = phy.NewShadowing(prop, cfg.Faults.ShadowSigmaDB, rng.Fork("fault/shadow"))
+		prop = shadow
+	}
 	w := &World{
 		Sched:   s,
-		Channel: phy.NewChannel(s, cfg.Prop),
+		Channel: phy.NewChannel(s, prop),
 		PF:      &packet.Factory{},
-		RNG:     sim.NewRNG(seed),
+		RNG:     rng,
 		Obs:     cfg.Obs,
 		cfg:     cfg,
 		live:    newLiveInstruments(cfg.Obs, cfg.MAC),
+		shadow:  shadow,
+	}
+	if cfg.Faults.LinkEnabled() {
+		w.fault = fault.NewInjector(cfg.Faults, rng.Fork("fault/link"))
 	}
 	if cfg.MAC == MACTDMA {
 		w.schedule = mactdma.NewSchedule(cfg.TDMA.SlotDuration())
 	}
 	return w
+}
+
+// FaultStats returns the per-link injector's counters (zero when no loss
+// model is enabled).
+func (w *World) FaultStats() fault.Stats {
+	if w.fault == nil {
+		return fault.Stats{}
+	}
+	return w.fault.Stats()
 }
 
 // Config returns the stack recipe the world builds with.
@@ -144,6 +175,10 @@ func (w *World) AddNode(id packet.NodeID, pos phy.PositionFn) *Node {
 	n := &Node{ID: id}
 	n.Radio = phy.NewRadio(id, w.Sched, pos, w.cfg.Radio)
 	w.Channel.Attach(n.Radio)
+	if w.fault != nil {
+		n.Radio.SetImpairment(w.fault)
+	}
+	w.scheduleOutages(n.Radio)
 	n.Net = netlayer.New(id)
 	switch w.cfg.Queue {
 	case QueuePri:
@@ -175,6 +210,28 @@ func (w *World) AddNode(id packet.NodeID, pos phy.PositionFn) *Node {
 	n.AODV = aodv.New(w.Sched, n.Net, w.PF, w.RNG.Fork(fmt.Sprintf("aodv-%d", id)), w.cfg.AODV)
 	w.Nodes = append(w.Nodes, n)
 	return n
+}
+
+// scheduleOutages arms the plan's outage windows targeting r's node: the
+// radio goes down at each window's start and recovers at its end. Windows
+// whose start lies in the past are clamped to now (the radio drops
+// immediately); non-positive durations are no-ops.
+func (w *World) scheduleOutages(r *phy.Radio) {
+	for _, o := range w.cfg.Faults.Outages {
+		if o.Node != r.ID() || o.Duration <= 0 {
+			continue
+		}
+		down, up := o.Start, o.Start+o.Duration
+		if down < w.Sched.Now() {
+			down = w.Sched.Now()
+		}
+		if up <= down {
+			continue
+		}
+		r := r
+		w.Sched.AtKind(sim.KindPHY, down, func() { r.SetDown(true) })
+		w.Sched.AtKind(sim.KindPHY, up, func() { r.SetDown(false) })
+	}
 }
 
 // Node returns the node with the given ID, or nil.
