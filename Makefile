@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-obs bench-parallel bench-hot bench-guard fuzz fuzz-nightly lint
+.PHONY: build test verify check bench bench-obs bench-parallel bench-hot bench-guard fuzz fuzz-nightly lint
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,20 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# check arms the runtime invariant checker everywhere: the full test
+# suite with checks forced on (build tag `checkall`), then the four
+# headline configurations and the fault-degradation grid through the CLI
+# gates. Any recorded violation is a non-zero exit.
+check:
+	$(GO) test -tags=checkall ./...
+	$(GO) build -o /tmp/vanetsim-check ./cmd/vanetsim
+	/tmp/vanetsim-check -check -trial 1 > /dev/null
+	/tmp/vanetsim-check -check -trial 2 > /dev/null
+	/tmp/vanetsim-check -check -trial 3 > /dev/null
+	/tmp/vanetsim-check -check -trial 0 -mac 802.11 -packet 500 > /dev/null
+	$(GO) build -o /tmp/eblreport-check ./cmd/eblreport
+	/tmp/eblreport-check -check -degrade > /dev/null
 
 # bench regenerates the paper's evaluation as benchmark metrics.
 bench:
@@ -55,7 +69,7 @@ fuzz:
 FUZZTIME ?= 2m
 fuzz-nightly:
 	$(GO) test -run='^$$' -fuzz=FuzzParseLine -fuzztime=$(FUZZTIME) ./internal/trace
-	$(GO) test -run='^$$' -fuzz=FuzzTopologyConservation -fuzztime=$(FUZZTIME) ./internal/scenario
+	$(GO) test -tags=checkall -run='^$$' -fuzz=FuzzTopologyConservation -fuzztime=$(FUZZTIME) ./internal/scenario
 
 # lint runs the static analyzers CI uses; tools are expected on PATH
 # (CI installs them, see .github/workflows/ci.yml).

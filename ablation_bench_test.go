@@ -126,7 +126,10 @@ func BenchmarkAblationDoSResilience(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := vanetsim.DefaultJamming(vanetsim.MAC80211)
 				v.mod(&cfg)
-				r := vanetsim.RunJamming(cfg)
+				r, err := vanetsim.RunJamming(cfg)
+				if err != nil {
+					b.Fatalf("RunJamming: %v", err)
+				}
 				b.ReportMetric(r.OverallDelivery, "delivery")
 			}
 		})

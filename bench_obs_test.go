@@ -38,3 +38,21 @@ func benchTrial1(b *testing.B, telemetry bool) {
 
 func BenchmarkTrial1Baseline(b *testing.B)     { benchTrial1(b, false) }
 func BenchmarkTrial1Instrumented(b *testing.B) { benchTrial1(b, true) }
+
+// BenchmarkTrial1Checked is the invariant checker's cost counterpart:
+// the same trial with TrialConfig.Check armed. Compare against
+// BenchmarkTrial1Baseline for the README's measured overhead number. It
+// is deliberately NOT in the bench-guard baseline — the guard pins the
+// checks-off hot path.
+func BenchmarkTrial1Checked(b *testing.B) {
+	cfg := vanetsim.Trial1()
+	cfg.Duration = vanetsim.Seconds(40)
+	cfg.Check = true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := vanetsim.RunTrial(cfg)
+		if len(r.Violations) > 0 {
+			b.Fatalf("checked run dirty: %v", r.Violations[0].Error())
+		}
+	}
+}

@@ -43,19 +43,20 @@ func run(args []string, out io.Writer) error {
 		statsJSN = fs.String("stats-json", "", "write all trials' telemetry as NDJSON to this path")
 		degrade  = fs.Bool("degrade", false, "print only the fault-injection degradation report")
 		degCSV   = fs.String("degrade-csv", "", "also write the degradation points as CSV to this path")
+		checkInv = fs.Bool("check", false, "arm the runtime invariant checker on every run; non-zero exit on any violation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *degrade {
-		return degradationReport(out, *jobs, *degCSV)
+		return degradationReport(out, *jobs, *degCSV, *checkInv)
 	}
-	return reportWith(out, *jobs, *stats, *statsJSN)
+	return reportWith(out, *jobs, *stats, *statsJSN, *checkInv)
 }
 
 // degradationReport sweeps channel loss per MAC and tabulates how delay,
 // throughput, and the braking-safety margin erode.
-func degradationReport(out io.Writer, jobs int, csvPath string) error {
+func degradationReport(out io.Writer, jobs int, csvPath string, check bool) error {
 	fmt.Fprintln(out, "Degradation under channel loss — fault-injection analogue of §III.E")
 	fmt.Fprintln(out, "====================================================================")
 
@@ -63,7 +64,13 @@ func degradationReport(out io.Writer, jobs int, csvPath string) error {
 	for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
 		cfg := vanetsim.DefaultDegradation(mac)
 		cfg.Jobs = jobs
+		cfg.Base.Check = check
 		pts := vanetsim.RunDegradation(cfg)
+		for _, p := range pts {
+			if p.Violations > 0 {
+				return fmt.Errorf("%v loss=%g: %d invariant violation(s)", mac, p.LossProb, p.Violations)
+			}
+		}
 		fmt.Fprintf(out, "\n%v MAC (independent losses, %.0f s per point):\n",
 			mac, float64(cfg.Base.Duration))
 		fmt.Fprint(out, vanetsim.FormatDegradationTable(pts))
@@ -90,9 +97,9 @@ func degradationReport(out io.Writer, jobs int, csvPath string) error {
 
 // report writes the plain evaluation report (kept for tests and callers
 // that don't need telemetry).
-func report(out io.Writer) { _ = reportWith(out, 0, false, "") }
+func report(out io.Writer) { _ = reportWith(out, 0, false, "", false) }
 
-func reportWith(out io.Writer, jobs int, stats bool, statsJSON string) error {
+func reportWith(out io.Writer, jobs int, stats bool, statsJSON string, check bool) error {
 	fmt.Fprintln(out, "Extended Brake Lights reproduction — full evaluation report")
 	fmt.Fprintln(out, "============================================================")
 
@@ -100,8 +107,15 @@ func reportWith(out io.Writer, jobs int, stats bool, statsJSON string) error {
 	cfgs := []vanetsim.TrialConfig{vanetsim.Trial1(), vanetsim.Trial2(), vanetsim.Trial3()}
 	for i := range cfgs {
 		cfgs[i].Telemetry = telemetry
+		cfgs[i].Check = check
 	}
 	all := vanetsim.RunTrials(cfgs, jobs)
+	for _, r := range all {
+		if n := len(r.Violations); n > 0 {
+			return fmt.Errorf("%v: %d invariant violation(s), first: %v",
+				r.Config.Name, n, r.Violations[0].Error())
+		}
+	}
 	r1, r2, r3 := all[0], all[1], all[2]
 
 	for _, r := range all {

@@ -8,6 +8,7 @@
 //	eblsweep -perf      # only the performance sweep
 //	eblsweep -j 8       # fan runs across 8 workers (default: all CPUs)
 //	eblsweep -stats     # add per-run telemetry to the progress lines
+//	eblsweep -check     # runtime invariant checker on every run
 //	eblsweep -stats-json runs.ndjson  # append all runs' metrics, NDJSON
 //
 // The degradation sweep drives the fault-injection layer across its three
@@ -54,6 +55,7 @@ func main() {
 type sweepOpts struct {
 	jobs  int       // worker-pool size; <= 0 means one worker per CPU
 	stats bool      // per-run telemetry summaries on the progress stream
+	check bool      // arm the runtime invariant checker on every run
 	jsonW io.Writer // NDJSON sink for every run's snapshot (nil = off)
 	// progress receives per-run progress lines (stderr by default; tests
 	// silence or capture it). Writes happen only from the pool's ordered
@@ -77,6 +79,7 @@ func runWith(args []string, out, progress io.Writer) (err error) {
 		duration   = fs.Float64("duration", 80, "simulated seconds per run")
 		jobs       = fs.Int("j", 0, "concurrent simulation runs (0 = one per CPU); output is identical at every -j")
 		stats      = fs.Bool("stats", false, "add per-run telemetry to the progress lines")
+		checkInv   = fs.Bool("check", false, "arm the runtime invariant checker on every run; non-zero exit on any violation")
 		statsJSN   = fs.String("stats-json", "", "append every run's telemetry as NDJSON to this path")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this path")
 		memProf    = fs.String("memprofile", "", "write an allocation profile to this path")
@@ -101,6 +104,7 @@ func runWith(args []string, out, progress io.Writer) (err error) {
 	opts := sweepOpts{
 		jobs:     *jobs,
 		stats:    *stats,
+		check:    *checkInv,
 		progress: runner.NewSyncWriter(progress),
 	}
 	if *statsJSN != "" {
@@ -156,7 +160,14 @@ func runPoint(p point, opts sweepOpts) (*runOut, error) {
 	// reduction (the degradation sweep reads fault counters) keep it even
 	// when no -stats/-stats-json sink asked for it.
 	cfg.Telemetry = cfg.Telemetry || opts.telemetry()
+	cfg.Check = cfg.Check || opts.check
 	o := &runOut{result: vanetsim.RunTrial(cfg)}
+	if opts.check {
+		if n := len(o.result.Violations); n > 0 {
+			return nil, fmt.Errorf("%s mac=%v size=%d: %d invariant violation(s), first: %v",
+				p.sweep, cfg.MAC, cfg.PacketSize, n, o.result.Violations[0].Error())
+		}
+	}
 	o.progress = fmt.Sprintf("eblsweep: %s mac=%v size=%d done (%.0f s sim)",
 		p.sweep, cfg.MAC, cfg.PacketSize, float64(cfg.Duration))
 	if t := o.result.Telemetry; t != nil {
@@ -164,9 +175,8 @@ func runPoint(p point, opts sweepOpts) (*runOut, error) {
 			events, _ := t.Counter("sched/events_executed")
 			drops, _ := t.Counter("ifq/dropped_total")
 			rtx, _ := t.Counter("tcp/retransmits")
-			wall, _ := t.Gauge("run/wall_seconds")
 			o.progress += fmt.Sprintf(" — %d events, %d ifq drops, %d rtx, %.2fs wall",
-				events, drops, rtx, wall.Value)
+				events, drops, rtx, o.result.WallSeconds)
 		}
 		if opts.jsonW != nil {
 			// A run-header line keys the metric lines that follow to this

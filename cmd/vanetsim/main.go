@@ -54,6 +54,7 @@ func run(args []string, out io.Writer) (err error) {
 		traceOut = fs.String("trace", "", "write an agent-level trace file to this path")
 		animate  = fs.Bool("anim", false, "play an ASCII animation of vehicle motion (nam's role)")
 		stats    = fs.Bool("stats", false, "print the cross-layer telemetry summary after the run")
+		checkInv = fs.Bool("check", false, "arm the runtime invariant checker; non-zero exit on any violation")
 		statsJSN = fs.String("stats-json", "", "write run telemetry as NDJSON to this path")
 		statsPrm = fs.String("stats-prom", "", "write run telemetry in Prometheus text format to this path")
 		loss     = fs.Float64("loss", 0, "independent per-frame loss probability")
@@ -108,6 +109,7 @@ func run(args []string, out io.Writer) (err error) {
 	}
 	cfg.CollectTrace = *traceOut != ""
 	cfg.Telemetry = *stats || *statsJSN != "" || *statsPrm != ""
+	cfg.Check = *checkInv
 	if *burstP < 0 || *burstP > 1 {
 		return fmt.Errorf("-burst-loss %v outside [0, 1]", *burstP)
 	}
@@ -125,6 +127,19 @@ func run(args []string, out io.Writer) (err error) {
 	}
 
 	r := vanetsim.RunTrial(cfg)
+	if *checkInv {
+		if n := len(r.Violations); n > 0 {
+			for i, v := range r.Violations {
+				fmt.Fprintln(os.Stderr, "vanetsim:", v.Error())
+				if i == 9 && n > 10 {
+					fmt.Fprintf(os.Stderr, "vanetsim: ... and %d more\n", n-10)
+					break
+				}
+			}
+			return fmt.Errorf("%d invariant violation(s)", n)
+		}
+		fmt.Fprintf(out, "invariant check: clean (%s)\n", cfg.Name)
+	}
 
 	// emitStats closes out every output mode: exporter files always, the
 	// text summary only on -stats.

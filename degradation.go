@@ -118,6 +118,9 @@ type DegradationPoint struct {
 	// -Inf when no packet was ever delivered).
 	SafetyMarginM float64
 	Safe          bool
+	// Violations counts runtime invariant violations when the base trial
+	// ran with Check armed (always 0 otherwise).
+	Violations int
 }
 
 // RunDegradation executes the sweep and returns one point per loss rate,
@@ -150,7 +153,7 @@ func DegradationPointFrom(base TrialConfig, lossProb float64, r *TrialResult) De
 }
 
 func degradationPoint(base TrialConfig, lossProb float64, model BrakingModel, r *TrialResult) DegradationPoint {
-	pt := DegradationPoint{LossProb: lossProb}
+	pt := DegradationPoint{LossProb: lossProb, Violations: len(r.Violations)}
 	d := r.Platoon1.MiddleDelays()
 	sm := d.Summary()
 	pt.MeanDelayS, pt.MaxDelayS = sm.Mean, sm.Max

@@ -47,7 +47,11 @@ func main() {
 	for _, v := range variants {
 		cfg := vanetsim.DefaultJamming(vanetsim.MAC80211)
 		v.mod(&cfg)
-		r := vanetsim.RunJamming(cfg)
+		r, err := vanetsim.RunJamming(cfg)
+		if err != nil {
+			fmt.Printf("%-28s %s\n", v.name, err)
+			continue
+		}
 		avg := 0.0
 		n := 0
 		for _, fl := range r.Flows {

@@ -102,7 +102,10 @@ func TestFacadeJamming(t *testing.T) {
 	cfg.Duration = 20
 	cfg.HopChannels = 4
 	cfg.Jam.StartAt = 5
-	r := vanetsim.RunJamming(cfg)
+	r, err := vanetsim.RunJamming(cfg)
+	if err != nil {
+		t.Fatalf("RunJamming: %v", err)
+	}
 	if r.OverallDelivery <= 0.5 {
 		t.Fatalf("FHSS delivery = %v under a 15 s attack window with hopping", r.OverallDelivery)
 	}

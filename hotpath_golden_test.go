@@ -73,7 +73,13 @@ func runGoldenCase(t *testing.T, cfg vanetsim.TrialConfig, fig func(*vanetsim.Tr
 	cfg.Duration = vanetsim.Seconds(30)
 	cfg.CollectTrace = true
 	cfg.Telemetry = true
+	// The invariant checker must observe without perturbing: digests are
+	// pinned with it armed, so any behavioural leak fails the gate.
+	cfg.Check = true
 	r := vanetsim.RunTrial(cfg)
+	if n := len(r.Violations); n > 0 {
+		t.Fatalf("%d invariant violation(s), first: %v", n, r.Violations[0].Error())
+	}
 
 	var tr bytes.Buffer
 	if err := trace.WriteAll(&tr, r.Trace); err != nil {

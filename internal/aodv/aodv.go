@@ -1,6 +1,7 @@
 package aodv
 
 import (
+	"vanetsim/internal/check"
 	"vanetsim/internal/netlayer"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
@@ -129,6 +130,10 @@ type Agent struct {
 	helloTimer sim.Timer
 
 	stats Stats
+
+	// chk validates routes at use time and packet hop budgets along paths
+	// (nil when the invariant checker is disabled).
+	chk *check.RouteGuard
 }
 
 var _ netlayer.Routing = (*Agent)(nil)
@@ -158,6 +163,9 @@ func New(sched *sim.Scheduler, net *netlayer.Net, pf *packet.Factory, rng *sim.R
 // Stats returns protocol counters.
 func (a *Agent) Stats() Stats { return a.stats }
 
+// SetCheck wires the world-shared route guard (may be nil).
+func (a *Agent) SetCheck(g *check.RouteGuard) { a.chk = g }
+
 // Routes returns a snapshot of the routing table for inspection.
 func (a *Agent) Routes() []Route { return a.tbl.snapshot() }
 
@@ -185,7 +193,9 @@ func (a *Agent) HandleOutgoing(p *packet.Packet) {
 // useRoute stamps the next hop on p, refreshes the route chain, and
 // transmits.
 func (a *Agent) useRoute(p *packet.Packet, r *Route) {
-	until := a.sched.Now() + a.cfg.ActiveRouteTimeout
+	now := a.sched.Now()
+	a.chk.UseRoute(now, r.Dst, r.Valid, r.Expiry, r.NextHop, r.Hops)
+	until := now + a.cfg.ActiveRouteTimeout
 	p.IP.NextHop = r.NextHop
 	a.tbl.refresh(r.Dst, until)
 	a.tbl.refresh(r.NextHop, until)
@@ -302,6 +312,7 @@ func (a *Agent) handleData(p *packet.Packet) {
 		return
 	}
 	p.NumForwards++
+	a.chk.Forward(now, p.UID, p.IP.TTL, p.NumForwards)
 	a.stats.DataForwarded++
 	// Traffic keeps the whole chain alive: destination, next hop, source,
 	// and previous hop (RFC 3561 §6.2 last paragraph).

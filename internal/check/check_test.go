@@ -1,0 +1,291 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"vanetsim/internal/packet"
+	"vanetsim/internal/queue"
+	"vanetsim/internal/sim"
+)
+
+func TestNilRegistryIsDisabled(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	r.Violationf(1, "phy", "x", "should be dropped")
+	if r.Violations() != nil || r.Total() != 0 || r.Err() != nil {
+		t.Fatal("nil registry recorded state")
+	}
+}
+
+func TestRegistryRecordsAndCaps(t *testing.T) {
+	r := New()
+	if !r.Enabled() {
+		t.Fatal("armed registry reports disabled")
+	}
+	for i := 0; i < maxStored+10; i++ {
+		r.Violationf(sim.Time(i), "phy", "arrival_conservation", "violation %d", i)
+	}
+	if got := len(r.Violations()); got != maxStored {
+		t.Fatalf("stored %d violations, want cap %d", got, maxStored)
+	}
+	if r.Total() != maxStored+10 {
+		t.Fatalf("Total = %d, want %d", r.Total(), maxStored+10)
+	}
+	err := r.Err()
+	if err == nil {
+		t.Fatal("Err() nil with violations recorded")
+	}
+	if !strings.Contains(err.Error(), "violation 0") {
+		t.Fatalf("Err() should cite the first violation: %v", err)
+	}
+	v := r.Violations()[0]
+	if v.Layer != "phy" || v.Name != "arrival_conservation" || v.At != 0 {
+		t.Fatalf("violation fields = %+v", v)
+	}
+	if !strings.Contains(v.Error(), "phy/arrival_conservation") {
+		t.Fatalf("Error() = %q", v.Error())
+	}
+}
+
+func TestCleanRegistryErrNil(t *testing.T) {
+	if err := New().Err(); err != nil {
+		t.Fatalf("clean registry Err = %v", err)
+	}
+}
+
+func TestMonotonicHook(t *testing.T) {
+	r := New()
+	hook := Monotonic(r)
+	hook(1.0, 1.5) // forward: fine
+	hook(1.5, 1.5) // equal times: fine (zero-delay events are legal)
+	if r.Total() != 0 {
+		t.Fatalf("forward steps flagged: %v", r.Violations())
+	}
+	hook(2.0, 1.0) // backwards
+	if r.Total() != 1 {
+		t.Fatalf("backwards step not flagged, total = %d", r.Total())
+	}
+	if v := r.Violations()[0]; v.Layer != "sched" || v.Name != "time_monotone" {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestSlotGuard(t *testing.T) {
+	r := New()
+	g := NewSlotGuard(r, 0.1)
+	g.Transmitting(0.05, 1) // slot 0
+	g.Transmitting(0.15, 2) // slot 1: different slot, fine
+	g.Transmitting(0.17, 2) // slot 1 again, same owner: fine
+	if r.Total() != 0 {
+		t.Fatalf("legal schedule flagged: %v", r.Violations())
+	}
+	g.Transmitting(0.19, 3) // slot 1, second owner: violation
+	if r.Total() != 1 {
+		t.Fatalf("slot collision not flagged, total = %d", r.Total())
+	}
+	if v := r.Violations()[0]; v.Layer != "mac/tdma" || v.Name != "slot_exclusive" {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+// Regression: TDMA slot starts are computed as offset + n·frame in
+// float64, and dividing such a sum back by the slot duration can land a
+// hair under the integer slot number (trial 1's node 5 at t = 11·slotDur
+// binned into slot 10, "colliding" with node 4). Boundary-exact starts
+// must never be flagged.
+func TestSlotGuardBoundaryRounding(t *testing.T) {
+	r := New()
+	slotDur := sim.Time(0.012286) // trial-1 TDMA slot: 1 Mb/s, 1528-byte frame
+	g := NewSlotGuard(r, slotDur)
+	// Slot starts for nodes 4 and 5 of a 6-node frame, computed the way
+	// mactdma.Schedule.NextSlotStart computes them.
+	frame := sim.Time(6) * slotDur
+	g.Transmitting(sim.Time(4)*slotDur+frame, 4) // slot 10
+	g.Transmitting(sim.Time(5)*slotDur+frame, 5) // slot 11
+	if r.Total() != 0 {
+		t.Fatalf("boundary-exact slot starts flagged: %v", r.Violations())
+	}
+}
+
+func TestSlotGuardNilSafe(t *testing.T) {
+	var g *SlotGuard
+	g.Transmitting(1, 1) // must not panic
+}
+
+func TestNewSlotGuardRejectsBadDuration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero slot duration did not panic")
+		}
+	}()
+	NewSlotGuard(New(), 0)
+}
+
+func TestRouteGuardUseRoute(t *testing.T) {
+	cases := []struct {
+		name    string
+		valid   bool
+		expiry  sim.Time
+		nextHop packet.NodeID
+		hops    int
+		bad     bool
+	}{
+		{"healthy", true, 100, 2, 1, false},
+		{"invalidated", false, 100, 2, 1, true},
+		{"expired", true, 5, 2, 1, true},
+		{"no-next-hop", true, 100, packet.None, 1, true},
+		{"zero-hops", true, 100, 2, 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := New()
+			g := NewRouteGuard(r)
+			g.UseRoute(10, 7, c.valid, c.expiry, c.nextHop, c.hops)
+			if got := r.Total() > 0; got != c.bad {
+				t.Fatalf("flagged = %v, want %v (%v)", got, c.bad, r.Violations())
+			}
+		})
+	}
+}
+
+func TestRouteGuardForwardConservesHopBudget(t *testing.T) {
+	r := New()
+	g := NewRouteGuard(r)
+	g.Forward(1, 42, 31, 1) // first hop of a TTL-32 datagram
+	g.Forward(2, 42, 30, 2) // next hop: one TTL unit became one forward
+	g.Forward(3, 42, 31, 1) // MAC-retry/salvage copy re-forwarded: same budget
+	if r.Total() != 0 {
+		t.Fatalf("legal path flagged: %v", r.Violations())
+	}
+	g.Forward(4, 42, 31, 2) // TTL grew without a matching hop: corruption
+	if r.Total() != 1 {
+		t.Fatalf("drifting hop budget not flagged, total = %d", r.Total())
+	}
+	if v := r.Violations()[0]; v.Layer != "aodv" || v.Name != "hop_budget" {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestRouteGuardWindowEviction(t *testing.T) {
+	r := New()
+	g := NewRouteGuard(r)
+	g.Forward(0, 1, 10, 1)
+	// Push uid 1 out of the FIFO window entirely.
+	for i := uint64(2); i < routeGuardWindow+2; i++ {
+		g.Forward(0, i, 10, 1)
+	}
+	// uid 1 was evicted: a drifted budget is unobservable, and the entry is
+	// simply re-admitted.
+	g.Forward(1, 1, 20, 1)
+	if r.Total() != 0 {
+		t.Fatalf("evicted uid still tracked: %v", r.Violations())
+	}
+	if len(g.budget) != routeGuardWindow {
+		t.Fatalf("window holds %d entries, want %d", len(g.budget), routeGuardWindow)
+	}
+}
+
+func TestEnvelopeDelivery(t *testing.T) {
+	r := New()
+	e := NewEnvelope(r, 1e6) // 1000 bytes = 8 ms serialization
+	e.Delivery(10.0, 10.0-0.008, 1000)
+	if r.Total() != 0 {
+		t.Fatalf("exact serialization delay flagged: %v", r.Violations())
+	}
+	e.Delivery(10.0, 10.0-0.004, 1000) // half the bound: impossible
+	if r.Total() != 1 {
+		t.Fatal("sub-serialization delay not flagged")
+	}
+	e.Delivery(10.0, 10.5, 1000) // delivered before sending
+	if r.Total() != 2 {
+		t.Fatal("negative delay not flagged")
+	}
+	for _, v := range r.Violations() {
+		if v.Layer != "ebl" || v.Name != "delay_envelope" {
+			t.Fatalf("violation = %+v", v)
+		}
+	}
+}
+
+func TestEnvelopeNilSafe(t *testing.T) {
+	var e *Envelope
+	e.Delivery(1, 2, 100)
+	e.BadSample(1, nil)
+}
+
+func TestEnvelopeBadSample(t *testing.T) {
+	r := New()
+	e := NewEnvelope(r, 1e6)
+	e.BadSample(3, nil) // nil error is not a violation
+	if r.Total() != 0 {
+		t.Fatal("nil error flagged")
+	}
+	e.BadSample(3, errSentinel{})
+	if r.Total() != 1 {
+		t.Fatal("rejected sample not flagged")
+	}
+	if v := r.Violations()[0]; v.Name != "metric_sample" {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "bad sample" }
+
+func TestCountingQueueConservation(t *testing.T) {
+	cq := Count(queue.NewDropTail(2, nil))
+	p := func() *packet.Packet { return &packet.Packet{} }
+	if !cq.Enqueue(p()) || !cq.Enqueue(p()) {
+		t.Fatal("enqueue into empty queue failed")
+	}
+	if cq.Enqueue(p()) {
+		t.Fatal("enqueue beyond capacity succeeded")
+	}
+	if cq.Dequeue() == nil {
+		t.Fatal("dequeue from non-empty queue failed")
+	}
+	if cq.Len() != 1 || cq.Cap() != 2 || cq.Drops() != 1 {
+		t.Fatalf("Len/Cap/Drops = %d/%d/%d", cq.Len(), cq.Cap(), cq.Drops())
+	}
+	if cq.Peek() == nil {
+		t.Fatal("peek at non-empty queue failed")
+	}
+	r := New()
+	cq.Audit(r, 100, "node 1")
+	if r.Total() != 0 {
+		t.Fatalf("balanced queue flagged: %v", r.Violations())
+	}
+}
+
+func TestCountingQueueAuditFlagsImbalance(t *testing.T) {
+	cq := Count(queue.NewDropTail(4, nil))
+	cq.Enqueue(&packet.Packet{})
+	cq.dequeued = 5 // corrupt the books: more out than in
+	r := New()
+	cq.Audit(r, 100, "node 1")
+	if r.Total() != 1 {
+		t.Fatal("imbalanced queue not flagged")
+	}
+	if v := r.Violations()[0]; v.Layer != "ifq" || v.Name != "conservation" {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestCountingQueueAuditFlagsDropMismatch(t *testing.T) {
+	cq := Count(queue.NewDropTail(1, nil))
+	cq.Enqueue(&packet.Packet{})
+	cq.Enqueue(&packet.Packet{}) // rejected by the inner queue
+	cq.rejected = 5              // claim more rejections than inner drops
+	r := New()
+	cq.Audit(r, 100, "node 1")
+	if r.Total() != 1 {
+		t.Fatal("negative eviction count not flagged")
+	}
+	if v := r.Violations()[0]; v.Name != "drop_accounting" {
+		t.Fatalf("violation = %+v", v)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !checkall
+
+package check
+
+// ForceAll arms the invariant checker unconditionally in every scenario
+// run when the checkall build tag is set (CI's `go test -tags=checkall`
+// and `make fuzz-nightly`). In normal builds it is false and the checker
+// is purely opt-in.
+const ForceAll = false

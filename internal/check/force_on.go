@@ -1,0 +1,7 @@
+//go:build checkall
+
+package check
+
+// ForceAll arms the invariant checker unconditionally in every scenario
+// run; this build has the checkall tag set.
+const ForceAll = true

@@ -1,0 +1,192 @@
+package check
+
+import (
+	"math"
+
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// Monotonic returns a scheduler step hook asserting event-time
+// monotonicity: no event may fire before the clock it leaves behind, and
+// no event time may be NaN. Install with sim.Scheduler.SetStepHook.
+func Monotonic(r *Registry) func(from, to sim.Time) {
+	return func(from, to sim.Time) {
+		if to < from || math.IsNaN(float64(to)) {
+			r.Violationf(from, "sched", "time_monotone",
+				"event fires at %v, before the current clock %v", to, from)
+		}
+	}
+}
+
+// SlotGuard asserts TDMA slot exclusivity: at most one radio transmits in
+// any one slot. The simulation is single-threaded and time-ordered, so two
+// transmissions in one slot are necessarily consecutive observations, and
+// tracking only the most recent slot suffices. A nil guard is the disabled
+// state; Transmitting on it is a single nil check.
+type SlotGuard struct {
+	reg     *Registry
+	slotDur sim.Time
+
+	armed bool
+	slot  int64
+	owner packet.NodeID
+}
+
+// NewSlotGuard creates a guard for a schedule with the given slot length.
+func NewSlotGuard(reg *Registry, slotDur sim.Time) *SlotGuard {
+	if slotDur <= 0 {
+		panic("check: non-positive slot duration")
+	}
+	return &SlotGuard{reg: reg, slotDur: slotDur}
+}
+
+// slotEpsilon (in slot units) absorbs float64 representation error when
+// binning transmit times: a slot start computed as offset+n·frame can
+// divide back to fractionally under its integer slot number (11·slotDur /
+// slotDur = 10.999…), which would misfile a legal boundary transmission
+// into the previous slot. One millionth of a slot is ~12 ns at the paper's
+// slot lengths — far below any real slot-sharing offense — while float64
+// error at simulated timescales stays under a billionth of a slot.
+const slotEpsilon = 1e-6
+
+// Transmitting records that id starts a transmission at now and flags a
+// violation when another node already transmitted in the same slot.
+func (g *SlotGuard) Transmitting(now sim.Time, id packet.NodeID) {
+	if g == nil {
+		return
+	}
+	slot := int64(float64(now/g.slotDur) + slotEpsilon)
+	if g.armed && slot == g.slot && id != g.owner {
+		g.reg.Violationf(now, "mac/tdma", "slot_exclusive",
+			"node %v transmits in slot %d already used by node %v", id, slot, g.owner)
+	}
+	g.armed, g.slot, g.owner = true, slot, id
+}
+
+// routeGuardWindow bounds the per-packet hop-budget history the
+// conservation monitor keeps (FIFO eviction), so long runs stay O(1) in
+// memory.
+const routeGuardWindow = 1024
+
+// RouteGuard asserts AODV route-table sanity at the moment a route is
+// used, and per-packet hop-budget conservation along forwarding paths. It
+// is shared by every agent in a world so a packet's hop history follows it
+// across nodes. A nil guard is the disabled state.
+type RouteGuard struct {
+	reg *Registry
+
+	budget map[uint64]int // packet UID -> TTL + NumForwards at first forward
+	ring   []uint64       // FIFO of UIDs for eviction
+	n      int            // entries in ring
+	next   int            // eviction cursor
+}
+
+// NewRouteGuard creates a route guard reporting into reg.
+func NewRouteGuard(reg *Registry) *RouteGuard {
+	return &RouteGuard{reg: reg, budget: make(map[uint64]int, routeGuardWindow), ring: make([]uint64, routeGuardWindow)}
+}
+
+// UseRoute validates a route at the instant AODV stamps it on a packet: it
+// must be marked valid, unexpired, with a resolved next hop and a sane hop
+// count. The table's valid() lookup filters expired entries by
+// construction; this check guards that property against regressions at the
+// exact seam where a stale route would leak traffic.
+func (g *RouteGuard) UseRoute(now sim.Time, dst packet.NodeID, valid bool, expiry sim.Time, nextHop packet.NodeID, hops int) {
+	if g == nil {
+		return
+	}
+	switch {
+	case !valid:
+		g.reg.Violationf(now, "aodv", "route_sanity", "invalidated route to %v used", dst)
+	case expiry < now:
+		g.reg.Violationf(now, "aodv", "route_sanity",
+			"expired route to %v used (expiry %v < now %v)", dst, expiry, now)
+	case nextHop == packet.None:
+		g.reg.Violationf(now, "aodv", "route_sanity", "route to %v has no next hop", dst)
+	case hops < 1:
+		g.reg.Violationf(now, "aodv", "route_sanity", "route to %v has hop count %d", dst, hops)
+	}
+}
+
+// Forward records one forwarding of packet uid with its post-decrement TTL
+// and post-increment forward count, and flags a violation if the packet's
+// hop budget is not conserved. Every network-layer hop moves exactly one
+// unit from TTL to NumForwards and the PHY's per-receiver clones copy both
+// fields, so ttl+numForwards is a per-packet constant along every path —
+// including MAC retries and AODV salvage, which legally re-send an earlier
+// (higher-TTL, lower-count) copy of the same datagram on a fresh route. A
+// drifting sum means a layer corrupted the hop accounting in a way no
+// legal forwarding, retry, or salvage can produce.
+func (g *RouteGuard) Forward(now sim.Time, uid uint64, ttl, numForwards int) {
+	if g == nil {
+		return
+	}
+	sum := ttl + numForwards
+	if prev, ok := g.budget[uid]; ok {
+		if sum != prev {
+			g.reg.Violationf(now, "aodv", "hop_budget",
+				"packet uid %d forwarded with TTL %d + %d hops = budget %d, first observed with budget %d",
+				uid, ttl, numForwards, sum, prev)
+		}
+		return
+	}
+	if g.n == len(g.ring) {
+		delete(g.budget, g.ring[g.next])
+	} else {
+		g.n++
+	}
+	g.ring[g.next] = uid
+	g.next = (g.next + 1) % len(g.ring)
+	g.budget[uid] = sum
+}
+
+// envelopeSlack absorbs float64 rounding in the serialization bound; it is
+// nine orders of magnitude below the microsecond PHY timescale.
+const envelopeSlack = sim.Time(1e-12)
+
+// Envelope asserts the EBL physical delay envelope: a delivered packet's
+// one-way delay can never undercut its own serialization time at the
+// scenario's radio bit rate (the propagation component's lower bound is
+// zero). A nil envelope is the disabled state.
+type Envelope struct {
+	reg     *Registry
+	rateBps float64
+}
+
+// NewEnvelope creates an envelope checker for the given radio bit rate.
+func NewEnvelope(reg *Registry, rateBps float64) *Envelope {
+	if rateBps <= 0 {
+		panic("check: non-positive envelope bit rate")
+	}
+	return &Envelope{reg: reg, rateBps: rateBps}
+}
+
+// Delivery checks one delivered packet: payloadBytes were handed to the
+// application at time at, having been stamped sentAt at the sender.
+func (e *Envelope) Delivery(at, sentAt sim.Time, payloadBytes int) {
+	if e == nil {
+		return
+	}
+	delay := at - sentAt
+	if delay < 0 {
+		e.reg.Violationf(at, "ebl", "delay_envelope",
+			"packet delivered %v before it was sent", -delay)
+		return
+	}
+	bound := sim.Time(float64(payloadBytes) * 8 / e.rateBps)
+	if delay < bound-envelopeSlack {
+		e.reg.Violationf(at, "ebl", "delay_envelope",
+			"one-way delay %v below the %v serialization bound for %d bytes at %g b/s",
+			delay, bound, payloadBytes, e.rateBps)
+	}
+}
+
+// BadSample reports a measurement sample a metrics collector rejected —
+// a rejected sample means a layer produced an impossible observation.
+func (e *Envelope) BadSample(at sim.Time, err error) {
+	if e == nil || err == nil {
+		return
+	}
+	e.reg.Violationf(at, "ebl", "metric_sample", "%v", err)
+}

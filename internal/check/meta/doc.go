@@ -1,0 +1,33 @@
+// Package meta holds the simulator's metamorphic test harness.
+//
+// Where internal/check audits invariants *inside* one run (conservation,
+// slot exclusivity, route sanity), metamorphic testing relates *pairs* of
+// runs: transform the input in a way whose effect on the output is known
+// exactly, run both, and compare. No oracle for the absolute answer is
+// needed — only for the relation — which makes these tests sensitive to
+// whole classes of bugs (hidden global state, wall-clock leaks, RNG
+// stream coupling, accidental geometry dependence) that per-run
+// invariants cannot see.
+//
+// The harness pins three relations, each chosen so the expected effect is
+// *identity*:
+//
+//   - Distance scaling: shrinking every inter-node distance while all
+//     pairs stay inside the free-space region and the reception range
+//     must leave the set of delivered datagrams unchanged. Received
+//     power changes; connectivity, and therefore delivery, must not.
+//
+//   - Null impairment: a fault plan whose every knob is at its "no
+//     effect" value (zero loss probability, zero-loss burst chain,
+//     zero-duration outage) must be byte-identical to no fault plan at
+//     all — the fault layer's "zero effect when off" discipline, checked
+//     end to end through trace and telemetry rendering.
+//
+//   - Replication extension: running seeds {1..n} and then {1..2n} must
+//     produce identical per-seed results for the shared prefix. Any
+//     cross-replication state leak (shared RNG, pooled object reuse,
+//     order-dependent reduction) breaks this.
+//
+// All relations run under the armed invariant checker, so a metamorphic
+// pass also certifies both runs clean.
+package meta

@@ -1,0 +1,79 @@
+package check
+
+import (
+	"vanetsim/internal/packet"
+	"vanetsim/internal/queue"
+	"vanetsim/internal/sim"
+)
+
+// CountingQueue is a transparent interface-queue decorator that tallies
+// accepted, rejected and dequeued packets so end-of-run conservation can
+// be audited: every packet a queue accepts must either be dequeued,
+// evicted (the drops the inner queue records beyond outright rejections),
+// or still be queued. It changes no queue behaviour, so runs are
+// byte-identical with or without it.
+type CountingQueue struct {
+	inner    queue.Queue
+	accepted int
+	rejected int
+	dequeued int
+}
+
+var _ queue.Queue = (*CountingQueue)(nil)
+
+// Count wraps q in a conservation-counting decorator.
+func Count(q queue.Queue) *CountingQueue { return &CountingQueue{inner: q} }
+
+// Enqueue implements queue.Queue.
+func (q *CountingQueue) Enqueue(p *packet.Packet) bool {
+	ok := q.inner.Enqueue(p)
+	if ok {
+		q.accepted++
+	} else {
+		q.rejected++
+	}
+	return ok
+}
+
+// Dequeue implements queue.Queue.
+func (q *CountingQueue) Dequeue() *packet.Packet {
+	p := q.inner.Dequeue()
+	if p != nil {
+		q.dequeued++
+	}
+	return p
+}
+
+// Peek implements queue.Queue.
+func (q *CountingQueue) Peek() *packet.Packet { return q.inner.Peek() }
+
+// Len implements queue.Queue.
+func (q *CountingQueue) Len() int { return q.inner.Len() }
+
+// Cap implements queue.Queue.
+func (q *CountingQueue) Cap() int { return q.inner.Cap() }
+
+// Drops implements queue.Queue.
+func (q *CountingQueue) Drops() int { return q.inner.Drops() }
+
+// Audit checks the conservation identity at the end of a run:
+//
+//	accepted == dequeued + evicted + still queued
+//
+// where evicted is the inner queue's total drops minus the rejections this
+// decorator observed (a PriQueue eviction drops an already-accepted data
+// packet to admit a control packet).
+func (q *CountingQueue) Audit(reg *Registry, at sim.Time, label string) {
+	evicted := q.inner.Drops() - q.rejected
+	if evicted < 0 {
+		reg.Violationf(at, "ifq", "drop_accounting",
+			"%s: inner queue reports %d drops but %d rejections were observed",
+			label, q.inner.Drops(), q.rejected)
+		return
+	}
+	if q.accepted != q.dequeued+evicted+q.inner.Len() {
+		reg.Violationf(at, "ifq", "conservation",
+			"%s: accepted %d != dequeued %d + evicted %d + queued %d",
+			label, q.accepted, q.dequeued, evicted, q.inner.Len())
+	}
+}

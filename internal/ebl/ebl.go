@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"vanetsim/internal/app"
+	"vanetsim/internal/check"
 	"vanetsim/internal/metrics"
 	"vanetsim/internal/mobility"
 	"vanetsim/internal/netlayer"
@@ -39,6 +40,10 @@ type CommsConfig struct {
 	ThroughputBin sim.Time
 	// Obs receives transport-layer telemetry (RTT samples) when non-nil.
 	Obs *obs.Registry
+	// Check, when non-nil, audits every delivery against the physical
+	// envelope (one-way delay at least serialization time) and flags
+	// rejected metric samples.
+	Check *check.Envelope
 }
 
 // RTTBuckets are the histogram bounds (seconds) for TCP round-trip
@@ -85,6 +90,7 @@ type PlatoonComms struct {
 	throughput *metrics.Throughput
 
 	tracer    *trace.Collector // optional
+	check     *check.Envelope  // optional
 	onDeliver func(f *Flow, p *packet.Packet, at sim.Time)
 }
 
@@ -114,6 +120,7 @@ func NewPlatoonComms(sched *sim.Scheduler, platoon *mobility.Platoon, nets []*ne
 		platoon:    platoon,
 		throughput: metrics.NewThroughput(cfg.ThroughputBin),
 		tracer:     tracer,
+		check:      cfg.Check,
 	}
 	// Registry methods are nil-safe: rttHist is nil (and SetObs a no-op
 	// store) when telemetry is off.
@@ -153,8 +160,11 @@ func (pc *PlatoonComms) observe(f *Flow, tcpCfg tcp.Config) {
 			return // duplicate delivery: measured once, like the paper's per-ID analysis
 		}
 		f.seen[p.TCP.Seq] = true
+		pc.check.Delivery(at, p.SentAt, p.Size)
 		f.Delays.Add(p.TCP.Seq, at-p.SentAt)
-		pc.throughput.Add(at, p.Size-tcpCfg.HdrBytes)
+		if err := pc.throughput.Add(at, p.Size-tcpCfg.HdrBytes); err != nil {
+			pc.check.BadSample(at, err)
+		}
 		if pc.onDeliver != nil {
 			pc.onDeliver(f, p, at)
 		}

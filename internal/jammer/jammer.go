@@ -8,6 +8,8 @@
 package jammer
 
 import (
+	"fmt"
+
 	"vanetsim/internal/mac"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/phy"
@@ -50,24 +52,33 @@ type Jammer struct {
 	pf    *packet.Factory
 	cfg   Config
 
-	channel int
-	bursts  int
-	running bool
+	channel  int
+	bursts   int
+	txErrors int
+	running  bool
 }
 
 var _ phy.MAC = (*Jammer)(nil)
 
 // New creates a jammer on the given radio and starts it per cfg. The
-// radio must already be attached to a channel.
-func New(id packet.NodeID, sched *sim.Scheduler, radio *phy.Radio, pf *packet.Factory, cfg Config) *Jammer {
-	if cfg.FrameBytes <= 0 || cfg.RateBps <= 0 || cfg.DutyCycle <= 0 || cfg.DutyCycle > 1 {
-		panic("jammer: invalid config")
+// radio must already be attached to a channel. Invalid attack parameters
+// are reported as an error rather than a panic so scenario sweeps over
+// user-supplied grids degrade gracefully.
+func New(id packet.NodeID, sched *sim.Scheduler, radio *phy.Radio, pf *packet.Factory, cfg Config) (*Jammer, error) {
+	if cfg.FrameBytes <= 0 {
+		return nil, fmt.Errorf("jammer: FrameBytes must be positive, got %d", cfg.FrameBytes)
+	}
+	if cfg.RateBps <= 0 {
+		return nil, fmt.Errorf("jammer: RateBps must be positive, got %g", cfg.RateBps)
+	}
+	if cfg.DutyCycle <= 0 || cfg.DutyCycle > 1 {
+		return nil, fmt.Errorf("jammer: DutyCycle must be in (0, 1], got %g", cfg.DutyCycle)
 	}
 	j := &Jammer{id: id, sched: sched, radio: radio, pf: pf, cfg: cfg, channel: cfg.Channel}
 	radio.SetMAC(j)
 	radio.SetFreqFn(func() int { return j.channel })
 	sched.AtKind(sim.KindApp, maxTime(cfg.StartAt, sched.Now()), j.start)
-	return j
+	return j, nil
 }
 
 func maxTime(a, b sim.Time) sim.Time {
@@ -79,6 +90,9 @@ func maxTime(a, b sim.Time) sim.Time {
 
 // Bursts returns how many jamming frames have been transmitted.
 func (j *Jammer) Bursts() int { return j.bursts }
+
+// TxErrors returns how many bursts the radio refused.
+func (j *Jammer) TxErrors() int { return j.txErrors }
 
 // Running reports whether the attack is active.
 func (j *Jammer) Running() bool { return j.running }
@@ -103,7 +117,9 @@ func (j *Jammer) burst() {
 	p.Mac = packet.MacHdr{Src: j.id, Dst: packet.Broadcast, Subtype: packet.MacJam}
 	dur := mac.Duration(j.cfg.FrameBytes, j.cfg.RateBps)
 	j.bursts++
-	j.radio.Transmit(p, dur)
+	if err := j.radio.Transmit(p, dur); err != nil {
+		j.txErrors++ // burst lost; keep the attack cadence
+	}
 	period := sim.Time(float64(dur) / j.cfg.DutyCycle)
 	j.sched.ScheduleKind(sim.KindApp, period, j.burst)
 }

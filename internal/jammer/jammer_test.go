@@ -44,17 +44,22 @@ func victim(s *sim.Scheduler, ch *phy.Channel, id packet.NodeID, x float64) (*ph
 	return r, m
 }
 
-func newJammer(s *sim.Scheduler, ch *phy.Channel, pf *packet.Factory, cfg jammer.Config) *jammer.Jammer {
+func newJammer(t *testing.T, s *sim.Scheduler, ch *phy.Channel, pf *packet.Factory, cfg jammer.Config) *jammer.Jammer {
+	t.Helper()
 	r := phy.NewRadio(99, s, func() geom.Vec2 { return geom.V(0, 30) }, phy.DefaultRadioParams())
 	ch.Attach(r)
-	return jammer.New(99, s, r, pf, cfg)
+	j, err := jammer.New(99, s, r, pf, cfg)
+	if err != nil {
+		t.Fatalf("jammer.New: %v", err)
+	}
+	return j
 }
 
 func TestJammerFloodsContinuously(t *testing.T) {
 	s, ch, pf := rig(t)
 	_, vm := victim(s, ch, 1, 0)
 	cfg := jammer.DefaultConfig() // 1500 B at 1 Mb/s = 12 ms per burst
-	j := newJammer(s, ch, pf, cfg)
+	j := newJammer(t, s, ch, pf, cfg)
 	s.RunUntil(1.2)
 	if got := j.Bursts(); got < 95 || got > 105 {
 		t.Fatalf("bursts in 1.2 s = %d, want ~100 at full duty", got)
@@ -73,7 +78,7 @@ func TestJammerDutyCycle(t *testing.T) {
 	victim(s, ch, 1, 0)
 	cfg := jammer.DefaultConfig()
 	cfg.DutyCycle = 0.5
-	j := newJammer(s, ch, pf, cfg)
+	j := newJammer(t, s, ch, pf, cfg)
 	s.RunUntil(1.2)
 	if got := j.Bursts(); got < 45 || got > 55 {
 		t.Fatalf("bursts at 50%% duty = %d, want ~50", got)
@@ -86,7 +91,7 @@ func TestJammerWindow(t *testing.T) {
 	cfg := jammer.DefaultConfig()
 	cfg.StartAt = 1
 	cfg.StopAt = 2
-	j := newJammer(s, ch, pf, cfg)
+	j := newJammer(t, s, ch, pf, cfg)
 	s.RunUntil(0.5)
 	if j.Bursts() != 0 || j.Running() {
 		t.Fatal("jammer active before StartAt")
@@ -111,7 +116,7 @@ func TestJammerSweepCyclesChannels(t *testing.T) {
 	ch.Attach(r)
 	cfg := jammer.DefaultConfig()
 	cfg.Sweep = 4
-	j := newJammer(s, ch, pf, cfg)
+	j := newJammer(t, s, ch, pf, cfg)
 	s.RunUntil(1.2)
 	heard := m.frames + m.corrupted
 	if heard == 0 {
@@ -128,7 +133,7 @@ func TestJammerCorruptsOverlappingReception(t *testing.T) {
 	tx, _ := victim(s, ch, 1, 0)
 	_, rxm := victim(s, ch, 2, 25)
 	cfg := jammer.DefaultConfig()
-	newJammer(s, ch, pf, cfg) // at (0, 30): 39 m from rx — no capture escape
+	newJammer(t, s, ch, pf, cfg) // at (0, 30): 39 m from rx — no capture escape
 	var f packet.Factory
 	s.Schedule(0.1, func() {
 		p := f.New(packet.TypeTCP, 1000, s.Now())
@@ -146,7 +151,7 @@ func TestJammerIgnoresIncoming(t *testing.T) {
 	tx, _ := victim(s, ch, 1, 0)
 	cfg := jammer.DefaultConfig()
 	cfg.StartAt = 10
-	j := newJammer(s, ch, pf, cfg)
+	j := newJammer(t, s, ch, pf, cfg)
 	var f packet.Factory
 	p := f.New(packet.TypeTCP, 100, 0)
 	p.Mac = packet.MacHdr{Src: 1, Dst: packet.Broadcast, Subtype: packet.MacData}
@@ -157,14 +162,23 @@ func TestJammerIgnoresIncoming(t *testing.T) {
 	}
 }
 
-func TestJammerBadConfigPanics(t *testing.T) {
+// Regression: an invalid attack configuration must be reported as an
+// error, not a panic, so sweeps over user-supplied grids degrade per-run.
+func TestJammerBadConfigError(t *testing.T) {
 	s, ch, pf := rig(t)
-	cfg := jammer.DefaultConfig()
-	cfg.DutyCycle = 0
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero duty cycle did not panic")
+	bad := []func(*jammer.Config){
+		func(c *jammer.Config) { c.DutyCycle = 0 },
+		func(c *jammer.Config) { c.DutyCycle = 1.5 },
+		func(c *jammer.Config) { c.FrameBytes = 0 },
+		func(c *jammer.Config) { c.RateBps = -1 },
+	}
+	for i, mod := range bad {
+		cfg := jammer.DefaultConfig()
+		mod(&cfg)
+		r := phy.NewRadio(packet.NodeID(200+i), s, func() geom.Vec2 { return geom.V(0, 30) }, phy.DefaultRadioParams())
+		ch.Attach(r)
+		if _, err := jammer.New(packet.NodeID(200+i), s, r, pf, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
 		}
-	}()
-	newJammer(s, ch, pf, cfg)
+	}
 }

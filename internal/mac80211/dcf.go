@@ -116,6 +116,7 @@ type Stats struct {
 	TxAck       int // acknowledgements sent
 	TxRTS       int // RTS frames sent
 	TxCTS       int // CTS responses sent
+	TxErrors    int // frames the radio refused (Transmit returned an error)
 	Retries     int // retransmission attempts
 	Drops       int // frames dropped after RetryLimit
 	RxDelivered int // frames handed to the network layer
@@ -315,7 +316,11 @@ func (m *MAC) transmitDataFrame(p *packet.Packet, broadcast bool) {
 		m.waitingAck = true
 		m.ackTimer = m.sched.ScheduleKind(sim.KindMAC, m.cfg.AckTimeout(), m.onAckTimeout)
 	})
-	m.radio.Transmit(p, dur)
+	if err := m.radio.Transmit(p, dur); err != nil {
+		// The frame never hit the air; the bookkeeping above still runs, so
+		// the exchange degrades through the normal ack-timeout path.
+		m.stats.TxErrors++
+	}
 }
 
 // transmitRTS opens an RTS/CTS exchange for the frame in service. The RTS
@@ -337,7 +342,9 @@ func (m *MAC) transmitRTS(p *packet.Packet) {
 		m.waitingCTS = true
 		m.ctsTimer = m.sched.ScheduleKind(sim.KindMAC, m.cfg.CTSTimeout(), m.onCtsTimeout)
 	})
-	m.radio.Transmit(rts, dur)
+	if err := m.radio.Transmit(rts, dur); err != nil {
+		m.stats.TxErrors++ // degrade through the CTS timeout
+	}
 }
 
 // onCtsTimeout handles a missing CTS like a missing ACK: back off and
@@ -462,7 +469,9 @@ func (m *MAC) scheduleAck(data *packet.Packet) {
 		// As in transmitData: clear txBusy before the radio's same-instant
 		// ChannelIdle so a deferred access can resume.
 		m.sched.ScheduleKind(sim.KindMAC, dur, func() { m.txBusy = false })
-		m.radio.Transmit(ack, dur)
+		if err := m.radio.Transmit(ack, dur); err != nil {
+			m.stats.TxErrors++ // lost ACK; the data sender retries
+		}
 	})
 }
 
@@ -483,7 +492,9 @@ func (m *MAC) scheduleCTS(rts *packet.Packet) {
 		m.txBusy = true
 		dur := m.cfg.CTSTxTime()
 		m.sched.ScheduleKind(sim.KindMAC, dur, func() { m.txBusy = false })
-		m.radio.Transmit(cts, dur)
+		if err := m.radio.Transmit(cts, dur); err != nil {
+			m.stats.TxErrors++ // lost CTS; the RTS sender times out
+		}
 	})
 }
 

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"vanetsim/internal/check"
 	"vanetsim/internal/mac"
 	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
@@ -170,6 +171,7 @@ func (s *Schedule) NextSlotStart(id packet.NodeID, now sim.Time) sim.Time {
 // Stats counts MAC-level outcomes.
 type Stats struct {
 	TxData      int // frames transmitted
+	TxErrors    int // frames the radio refused (Transmit returned an error)
 	RxDelivered int // frames delivered to the network layer
 	RxCorrupted int // frames discarded due to collision (foreign traffic)
 	RxFiltered  int // frames overheard but addressed elsewhere
@@ -193,6 +195,10 @@ type MAC struct {
 	// head-of-line frame began waiting for our slot.
 	obsSlotWait *obs.Histogram
 	waitFrom    sim.Time
+
+	// chk asserts slot exclusivity at transmit time (nil when the invariant
+	// checker is disabled; one nil check per transmission).
+	chk *check.SlotGuard
 }
 
 var _ mac.MAC = (*MAC)(nil)
@@ -229,6 +235,9 @@ func (m *MAC) Stats() Stats { return m.stats }
 // the "waiting for the assigned slot" component of TDMA's delay.
 func (m *MAC) SetObs(slotWait *obs.Histogram) { m.obsSlotWait = slotWait }
 
+// SetCheck wires the shared slot-exclusivity guard (may be nil).
+func (m *MAC) SetCheck(g *check.SlotGuard) { m.chk = g }
+
 // Poke implements mac.MAC: arms the next own-slot wakeup if the queue has
 // work and no wakeup is pending.
 func (m *MAC) Poke() {
@@ -256,7 +265,18 @@ func (m *MAC) onSlot() {
 	p.Mac.Dst = p.IP.NextHop
 	p.Mac.Subtype = packet.MacData
 	dur := m.cfg.PreambleTime + mac.Duration(m.cfg.HdrBytes+p.Size, m.cfg.DataRateBps)
-	m.radio.Transmit(p, dur)
+	m.chk.Transmitting(m.sched.Now(), m.id)
+	if err := m.radio.Transmit(p, dur); err != nil {
+		// The radio refused the frame (a MAC/radio state bug): the frame is
+		// lost, counted, and reported upward as a failed transmission so the
+		// stack keeps flowing instead of crashing the run.
+		m.stats.TxErrors++
+		m.sched.ScheduleKind(sim.KindMAC, dur, func() {
+			m.up.MacTxDone(p, false)
+			m.Poke()
+		})
+		return
+	}
 	m.stats.TxData++
 	// TDMA has no acknowledgements: the transmission is reported
 	// successful when it leaves the antenna, as in ns-2's Mac/Tdma.

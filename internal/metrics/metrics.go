@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 
 	"vanetsim/internal/sim"
@@ -128,8 +129,9 @@ type TPoint struct {
 // Throughput bins received bytes into fixed intervals, replicating the
 // paper's Tcl `record` procedure ($bw/$time*8 sampled periodically).
 type Throughput struct {
-	bin   sim.Time
-	bytes []int
+	bin      sim.Time
+	bytes    []int
+	rejected int
 }
 
 // NewThroughput creates a sampler with the given bin width. The paper's
@@ -144,21 +146,32 @@ func NewThroughput(bin sim.Time) *Throughput {
 // Bin returns the bin width.
 func (t *Throughput) Bin() sim.Time { return t.bin }
 
-// Add records n bytes received at time at.
-func (t *Throughput) Add(at sim.Time, n int) {
+// Add records n bytes received at time at. A negative time or byte count
+// is a caller bug (e.g. a corrupted delivery timestamp); the sample is
+// rejected with an error and counted, rather than panicking mid-run, so
+// the invariant checker can surface it with simulation-time context.
+func (t *Throughput) Add(at sim.Time, n int) error {
 	if at < 0 || n < 0 {
-		panic("metrics: negative time or byte count")
+		t.rejected++
+		return fmt.Errorf("metrics: rejected sample at t=%v with %d bytes (negative time or byte count)", at, n)
 	}
 	idx := int(at / t.bin)
 	for len(t.bytes) <= idx {
 		t.bytes = append(t.bytes, 0)
 	}
 	t.bytes[idx] += n
+	return nil
 }
+
+// Rejected returns how many samples Add refused.
+func (t *Throughput) Rejected() int { return t.rejected }
 
 // SeriesUntil returns the binned rate series covering [0, end), including
 // empty bins — the paper's figures show the silent prefix before
-// communication starts.
+// communication starts. When end is not a multiple of the bin width, the
+// final bin covers only [start, end) and its rate is normalised by that
+// actual width, not the full bin width, so a truncated run does not
+// understate its closing throughput.
 func (t *Throughput) SeriesUntil(end sim.Time) []TPoint {
 	n := int(math.Ceil(float64(end / t.bin)))
 	out := make([]TPoint, 0, n)
@@ -167,9 +180,14 @@ func (t *Throughput) SeriesUntil(end sim.Time) []TPoint {
 		if i < len(t.bytes) {
 			b = t.bytes[i]
 		}
+		start := sim.Time(float64(i)) * t.bin
+		width := t.bin
+		if i == n-1 && end-start < width {
+			width = end - start
+		}
 		out = append(out, TPoint{
-			T:    sim.Time(float64(i)) * t.bin,
-			Mbps: float64(b) * 8 / float64(t.bin) / 1e6,
+			T:    start,
+			Mbps: float64(b) * 8 / float64(width) / 1e6,
 		})
 	}
 	return out

@@ -123,6 +123,31 @@ func TestThroughputBinning(t *testing.T) {
 	}
 }
 
+// Regression: the final bin of a series cut mid-bin used to be normalised
+// by the full bin width, under-reporting the closing rate. 31250 bytes in
+// the quarter-second tail [1.0, 1.25) is 1 Mbps, not the 0.5 Mbps a full
+// 0.5 s divisor would claim.
+func TestThroughputFinalPartialBinNormalized(t *testing.T) {
+	tp := NewThroughput(0.5)
+	tp.Add(0.1, 62500) // bin 0, full width: 1 Mbps
+	tp.Add(1.1, 31250) // bin 2, cut at 1.25: 31250·8 / 0.25 s = 1 Mbps
+	series := tp.SeriesUntil(1.25)
+	if len(series) != 3 {
+		t.Fatalf("bins = %d, want 3", len(series))
+	}
+	if !almost(series[0].Mbps, 1.0) {
+		t.Fatalf("full bin = %v Mbps, want 1", series[0].Mbps)
+	}
+	if !almost(series[2].Mbps, 1.0) {
+		t.Fatalf("partial bin = %v Mbps, want 1 (normalised by 0.25 s)", series[2].Mbps)
+	}
+	// An end landing exactly on a bin edge keeps the full-width divisor.
+	whole := tp.SeriesUntil(1.5)
+	if !almost(whole[2].Mbps, 0.5) {
+		t.Fatalf("full-width closing bin = %v Mbps, want 0.5", whole[2].Mbps)
+	}
+}
+
 func TestThroughputSummaryIncludesSilentPrefix(t *testing.T) {
 	// The paper's min throughput is 0 because bins before communication
 	// starts are part of the record.
@@ -162,20 +187,37 @@ func TestThroughputCI(t *testing.T) {
 	}
 }
 
-func TestThroughputPanics(t *testing.T) {
-	for name, fn := range map[string]func(){
-		"zero bin": func() { NewThroughput(0) },
-		"neg time": func() { NewThroughput(1).Add(-1, 10) },
-		"neg size": func() { NewThroughput(1).Add(1, -10) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("%s did not panic", name)
-				}
-			}()
-			fn()
-		}()
+func TestThroughputZeroBinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bin did not panic")
+		}
+	}()
+	NewThroughput(0)
+}
+
+// Regression: impossible samples are rejected with an error and counted,
+// not panicked over — a corrupted timestamp mid-sweep must not kill the
+// whole run, and the checker surfaces the rejection instead.
+func TestThroughputRejectsBadSamples(t *testing.T) {
+	tp := NewThroughput(1)
+	if err := tp.Add(-1, 10); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	if err := tp.Add(1, -10); err == nil {
+		t.Fatal("negative byte count accepted")
+	}
+	if got := tp.Rejected(); got != 2 {
+		t.Fatalf("Rejected() = %d, want 2", got)
+	}
+	if tp.TotalBytes() != 0 {
+		t.Fatalf("rejected samples leaked %d bytes into the bins", tp.TotalBytes())
+	}
+	if err := tp.Add(0.5, 10); err != nil {
+		t.Fatalf("valid sample rejected: %v", err)
+	}
+	if got := tp.Rejected(); got != 2 {
+		t.Fatalf("Rejected() after a valid sample = %d, want 2", got)
 	}
 }
 

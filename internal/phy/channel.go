@@ -19,6 +19,17 @@ type arrival struct {
 	freq     int
 }
 
+// ChannelStats counts medium-level arrival outcomes: every arrival the
+// channel schedules either fires (and is then frequency-filtered or
+// offered to the destination radio) or is still propagating when the run
+// ends. The invariant checker audits this against the radios' own arrival
+// counters.
+type ChannelStats struct {
+	Offered      int // arrival events scheduled toward in-range receivers
+	Delivered    int // arrival events that fired
+	FilteredFreq int // fired arrivals discarded: receiver tuned elsewhere
+}
+
 // Channel is the shared wireless medium. Every attached radio's
 // transmission is offered to every other radio whose received power
 // clears its carrier-sense threshold, after the speed-of-light delay.
@@ -29,6 +40,7 @@ type Channel struct {
 
 	arriveFn func(any)
 	arrFree  []*arrival
+	stats    ChannelStats
 }
 
 // NewChannel creates a channel using the given propagation model.
@@ -39,7 +51,9 @@ func NewChannel(sched *sim.Scheduler, prop Propagation) *Channel {
 		dst, p, power, duration, freq := ar.dst, ar.p, ar.power, ar.duration, ar.freq
 		*ar = arrival{}
 		c.arrFree = append(c.arrFree, ar)
+		c.stats.Delivered++
 		if dst.Freq() != freq {
+			c.stats.FilteredFreq++
 			return // tuned elsewhere: no energy seen
 		}
 		dst.frameArrives(p, power, duration)
@@ -83,9 +97,13 @@ func (c *Channel) broadcast(src *Radio, p *packet.Packet, duration sim.Time) {
 			ar = &arrival{}
 		}
 		*ar = arrival{dst: dst, p: p.Clone(), power: pr, duration: duration, freq: txFreq}
+		c.stats.Offered++
 		c.sched.ScheduleArgKind(sim.KindPHY, delay, c.arriveFn, ar)
 	}
 }
+
+// Stats returns the channel's arrival counters.
+func (c *Channel) Stats() ChannelStats { return c.stats }
 
 // FreqFn reports a radio's current frequency channel. It is sampled at
 // transmit time (sender) and first-bit arrival time (receiver), which is

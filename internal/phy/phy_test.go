@@ -1,6 +1,7 @@
 package phy
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -243,17 +244,63 @@ func TestHalfDuplexTxBlindsRx(t *testing.T) {
 	}
 }
 
-func TestTransmitWhileTransmittingPanics(t *testing.T) {
+// Regression: a double transmit is refused with ErrTxWhileTx and counted,
+// not panicked over — one misbehaving MAC must degrade its own node, not
+// crash a 1,000-replication sweep.
+func TestTransmitWhileTransmittingRefused(t *testing.T) {
 	s, radios, _ := rig(t, 0, 100)
 	var f packet.Factory
+	if err := radios[0].Transmit(mkPkt(&f, 1000), 4*sim.Millisecond); err != nil {
+		t.Fatalf("first transmit refused: %v", err)
+	}
+	err := radios[0].Transmit(mkPkt(&f, 1000), 4*sim.Millisecond)
+	if !errors.Is(err, ErrTxWhileTx) {
+		t.Fatalf("double transmit error = %v, want ErrTxWhileTx", err)
+	}
+	if got := radios[0].Stats().TxRefused; got != 1 {
+		t.Fatalf("TxRefused = %d, want 1", got)
+	}
+	if got := radios[0].Stats().TxFrames; got != 1 {
+		t.Fatalf("TxFrames = %d, want 1 (refused frame must not count)", got)
+	}
+	s.Run()
+}
+
+// Regression: the overlap-losing arrival in a collision used to vanish
+// from the radio's books entirely — neither delivered, captured, nor
+// counted — so arrivals could not be reconciled against outcomes. Every
+// arrival must land in exactly one outcome counter.
+func TestArrivalOutcomeConservation(t *testing.T) {
+	s, radios, _ := rig(t, -100, 0, 100)
+	var f packet.Factory
 	radios[0].Transmit(mkPkt(&f, 1000), 4*sim.Millisecond)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double transmit did not panic")
-		}
-	}()
-	radios[0].Transmit(mkPkt(&f, 1000), 4*sim.Millisecond)
-	_ = s
+	radios[2].Transmit(mkPkt(&f, 1000), 4*sim.Millisecond)
+	s.Run()
+	st := radios[1].Stats()
+	if st.RxArrivals != 2 {
+		t.Fatalf("RxArrivals = %d, want 2", st.RxArrivals)
+	}
+	if st.RxCollided != 1 || st.RxOverlapLost != 1 {
+		t.Fatalf("collision outcomes = %+v, want one collided + one overlap-lost", st)
+	}
+	sum := st.RxOK + st.RxCollided + st.RxImpaired + st.RxCaptured +
+		st.RxOverlapLost + st.RxWhileTx + st.RxBelowThresh +
+		st.RxDroppedOutage + st.RxAbortedByTx
+	if st.RxArrivals != sum {
+		t.Fatalf("arrivals %d != outcome sum %d (%+v)", st.RxArrivals, sum, st)
+	}
+}
+
+// Regression: a non-positive duration is refused with ErrTxDuration.
+func TestTransmitNonPositiveDurationRefused(t *testing.T) {
+	_, radios, _ := rig(t, 0, 100)
+	var f packet.Factory
+	if err := radios[0].Transmit(mkPkt(&f, 1000), 0); !errors.Is(err, ErrTxDuration) {
+		t.Fatalf("zero-duration transmit error = %v, want ErrTxDuration", err)
+	}
+	if got := radios[0].Stats().TxRefused; got != 1 {
+		t.Fatalf("TxRefused = %d, want 1", got)
+	}
 }
 
 func TestTransmitAbortsReception(t *testing.T) {

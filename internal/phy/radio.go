@@ -1,10 +1,23 @@
 package phy
 
 import (
+	"errors"
 	"fmt"
 
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
+)
+
+// Transmit error sentinels. Both indicate a MAC-layer programming error;
+// the radio refuses the frame, counts it in Stats.TxRefused, and returns a
+// wrapped error instead of panicking so a malformed scenario degrades a
+// run rather than crashing a sweep.
+var (
+	// ErrTxWhileTx is returned when Transmit is called on a radio that is
+	// already transmitting.
+	ErrTxWhileTx = errors.New("phy: transmit while transmitting")
+	// ErrTxDuration is returned for a non-positive transmit duration.
+	ErrTxDuration = errors.New("phy: non-positive transmit duration")
 )
 
 // State is the radio transceiver state.
@@ -46,12 +59,18 @@ type interfEntry struct {
 	power float64
 }
 
-// Stats counts radio-level outcomes for diagnostics and tests.
+// Stats counts radio-level outcomes for diagnostics and tests. Every
+// first-bit arrival the channel delivers (RxArrivals) ends in exactly one
+// of the terminal counters below or is still in flight at the end of the
+// run — the conservation identity the invariant checker audits.
 type Stats struct {
 	TxFrames      int // frames transmitted
+	TxRefused     int // Transmit calls rejected with an error (MAC bug guard)
+	RxArrivals    int // first-bit arrivals offered by the channel
 	RxOK          int // frames delivered intact
 	RxCollided    int // frames delivered corrupted (collision, no capture)
 	RxCaptured    int // interferers suppressed by capture
+	RxOverlapLost int // arrivals lost overlapping a locked reception (no capture credit)
 	RxWhileTx     int // arrivals ignored because the radio was transmitting
 	RxBelowThresh int // arrivals sensed but too weak to decode
 	RxAbortedByTx int // in-progress receptions destroyed by our own transmission
@@ -198,6 +217,11 @@ func (r *Radio) State() State { return r.state }
 // Stats returns the radio's counters.
 func (r *Radio) Stats() Stats { return r.stats }
 
+// ReceptionInProgress reports whether a locked reception is still in
+// flight — the one arrival a run-end conservation audit must not expect a
+// terminal counter for.
+func (r *Radio) ReceptionInProgress() bool { return r.rx != nil }
+
 // newReception returns a recycled (or new) reception initialised for a
 // locked-onto frame.
 func (r *Radio) newReception(p *packet.Packet, power float64, end sim.Time) *reception {
@@ -226,15 +250,19 @@ func (r *Radio) CarrierBusy() bool {
 
 // Transmit puts a frame on the air for the given duration. The caller (the
 // MAC) is responsible for medium access; the radio enforces only physical
-// constraints: transmitting while already transmitting is a programming
-// error (panic), and transmitting while receiving destroys the reception
+// constraints: transmitting while already transmitting or for a
+// non-positive duration is a programming error — the frame is refused,
+// counted in Stats.TxRefused, and a wrapped ErrTxWhileTx/ErrTxDuration is
+// returned. Transmitting while receiving destroys the reception
 // (half-duplex).
-func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) {
+func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) error {
 	if r.state == Transmitting {
-		panic(fmt.Sprintf("phy: radio %v transmit while transmitting", r.id))
+		r.stats.TxRefused++
+		return fmt.Errorf("%w (radio %v)", ErrTxWhileTx, r.id)
 	}
 	if duration <= 0 {
-		panic("phy: non-positive transmit duration")
+		r.stats.TxRefused++
+		return fmt.Errorf("%w (radio %v: %v)", ErrTxDuration, r.id, duration)
 	}
 	if r.down {
 		// Outage: the MAC's transmit state machine proceeds normally, but
@@ -243,7 +271,7 @@ func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) {
 		r.stats.TxSuppressedOutage++
 		r.state = Transmitting
 		r.sched.ScheduleKind(sim.KindPHY, duration, r.txDoneFn)
-		return
+		return nil
 	}
 	if r.rx != nil {
 		// Half-duplex: the in-progress reception is lost. The reception's
@@ -256,11 +284,13 @@ func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) {
 	r.extendBusy(r.sched.Now() + duration)
 	r.ch.broadcast(r, p, duration)
 	r.sched.ScheduleKind(sim.KindPHY, duration, r.txDoneFn)
+	return nil
 }
 
 // frameArrives is called by the channel when the first bit of a frame
 // reaches this radio (power already above CSThreshW).
 func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time) {
+	r.stats.RxArrivals++
 	if r.down {
 		// A dead radio hears nothing: no carrier sense, no interference
 		// bookkeeping — but the loss is counted, never silent.
@@ -306,6 +336,7 @@ func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time)
 		} else {
 			// Collision: the locked frame is corrupted, and the new frame
 			// cannot be acquired mid-overlap either.
+			r.stats.RxOverlapLost++
 			r.rx.corrupted = true
 		}
 	}
@@ -328,6 +359,10 @@ func (r *Radio) arriveSINR(p *packet.Packet, power float64, duration sim.Time, e
 		r.stats.RxWhileTx++
 	case power < r.Params.RxThreshW:
 		r.stats.RxBelowThresh++
+	default:
+		// Decodable power, but the receiver is locked onto another frame:
+		// the arrival folds into interference and is lost.
+		r.stats.RxOverlapLost++
 	}
 	r.addInterference(power, duration)
 }

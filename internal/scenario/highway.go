@@ -3,6 +3,7 @@ package scenario
 import (
 	"time"
 
+	"vanetsim/internal/check"
 	"vanetsim/internal/ebl"
 	"vanetsim/internal/geom"
 	"vanetsim/internal/mobility"
@@ -34,6 +35,7 @@ type HighwayConfig struct {
 	QueueCap    int
 	Seed        uint64
 	Telemetry   bool // collect a cross-layer metrics snapshot
+	Check       bool // arm the runtime invariant checker (observation-only)
 }
 
 // DefaultHighway returns a 50-mph, 25-m-spacing emergency-braking run
@@ -83,6 +85,12 @@ type HighwayResult struct {
 	Collisions  int
 	// Telemetry is the metrics snapshot (nil unless Config.Telemetry).
 	Telemetry *obs.Snapshot
+	// Violations are the invariant violations of a checked run (nil unless
+	// checking was armed; empty means clean).
+	Violations []check.Violation
+	// WallSeconds is the host wall-clock cost of the run (host-dependent,
+	// never feeds simulation output).
+	WallSeconds float64
 }
 
 // RunHighway executes the emergency-braking scenario.
@@ -97,6 +105,9 @@ func RunHighway(cfg HighwayConfig) *HighwayResult {
 	}
 	if cfg.Telemetry {
 		stack.Obs = obs.NewRegistry()
+	}
+	if cfg.Check || check.ForceAll {
+		stack.Check = check.New()
 	}
 	w := NewWorld(stack, cfg.Seed)
 	s := w.Sched
@@ -115,6 +126,9 @@ func RunHighway(cfg HighwayConfig) *HighwayResult {
 	c.PacketSize = cfg.PacketSize
 	c.RateBps = cfg.RateBps
 	c.Obs = stack.Obs
+	if stack.Check != nil {
+		c.Check = check.NewEnvelope(stack.Check, envelopeRate(stack))
+	}
 	comms := ebl.NewPlatoonComms(s, p, nets, w.PF, c, nil)
 
 	// Follower reaction: brake on the first indication after BrakeAt.
@@ -161,6 +175,8 @@ func RunHighway(cfg HighwayConfig) *HighwayResult {
 		}
 		res.Indications = append(res.Indications, ind)
 	}
-	res.Telemetry = w.HarvestTelemetry(wallStart, comms)
+	res.Telemetry = w.HarvestTelemetry(comms)
+	res.Violations = w.AuditInvariants(comms)
+	res.WallSeconds = time.Since(wallStart).Seconds()
 	return res
 }

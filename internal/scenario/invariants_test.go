@@ -1,0 +1,87 @@
+package scenario_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vanetsim/internal/scenario"
+)
+
+// TestPaperTrialsCleanUnderCheck runs the paper's three trials at full
+// length with the invariant checker armed: conservation, slot exclusivity,
+// route sanity, time monotonicity, and the delay envelope must all hold on
+// the configurations the reproduction's claims rest on.
+func TestPaperTrialsCleanUnderCheck(t *testing.T) {
+	for _, mk := range []func() scenario.TrialConfig{
+		scenario.Trial1, scenario.Trial2, scenario.Trial3,
+	} {
+		cfg := mk()
+		cfg.Check = true
+		r := scenario.RunTrial(cfg)
+		for _, v := range r.Violations {
+			t.Errorf("%s: %v", cfg.Name, v.Error())
+		}
+		if r.WallSeconds <= 0 {
+			t.Errorf("%s: WallSeconds = %v, want > 0", cfg.Name, r.WallSeconds)
+		}
+	}
+}
+
+// TestHighwayCleanUnderCheck checks the mobile highway scenario, whose
+// changing geometry exercises route breaks and re-discovery.
+func TestHighwayCleanUnderCheck(t *testing.T) {
+	for _, mac := range []scenario.MACType{scenario.MACTDMA, scenario.MAC80211} {
+		cfg := scenario.DefaultHighway(mac, 4)
+		cfg.Check = true
+		r := scenario.RunHighway(cfg)
+		for _, v := range r.Violations {
+			t.Errorf("%v: %v", mac, v.Error())
+		}
+	}
+}
+
+// TestJammingCleanUnderCheck checks the adversarial scenario: a jammer
+// radio violates every politeness assumption a MAC makes, and the
+// conservation audit must still balance each radio's books.
+func TestJammingCleanUnderCheck(t *testing.T) {
+	for _, mac := range []scenario.MACType{scenario.MACTDMA, scenario.MAC80211} {
+		cfg := scenario.DefaultJamming(mac)
+		cfg.Check = true
+		r, err := scenario.RunJamming(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mac, err)
+		}
+		for _, v := range r.Violations {
+			t.Errorf("%v: %v", mac, v.Error())
+		}
+	}
+}
+
+// TestRunReportWallClockIndependent pins the satellite fix for the
+// wall-clock leak: two runs of the same seed must render byte-identical
+// telemetry reports, and no host-clock metric may appear in them (host
+// cost lives on the result's WallSeconds field instead).
+func TestRunReportWallClockIndependent(t *testing.T) {
+	render := func() []byte {
+		cfg := scenario.Trial1()
+		cfg.Duration = 30
+		cfg.Telemetry = true
+		r := scenario.RunTrial(cfg)
+		var buf bytes.Buffer
+		if err := r.Telemetry.NDJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical runs produced different telemetry bytes")
+	}
+	if strings.Contains(string(a), "run/wall") {
+		t.Fatal("host-clock metric leaked into the run report")
+	}
+	if !strings.Contains(string(a), "run/sim_seconds") {
+		t.Fatal("simulated-time gauge missing from the run report")
+	}
+}

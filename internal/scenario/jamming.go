@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"vanetsim/internal/app"
+	"vanetsim/internal/check"
 	"vanetsim/internal/geom"
 	"vanetsim/internal/jammer"
 	"vanetsim/internal/mactdma"
@@ -34,6 +35,7 @@ type JammingConfig struct {
 	Duration    sim.Time
 	Seed        uint64
 	Telemetry   bool // collect a cross-layer metrics snapshot
+	Check       bool // arm the runtime invariant checker (observation-only)
 }
 
 // DefaultJamming returns a 3-vehicle, 60-second attack run: 1,000-byte
@@ -76,10 +78,17 @@ type JammingResult struct {
 	OverallDelivery float64
 	// Telemetry is the metrics snapshot (nil unless Config.Telemetry).
 	Telemetry *obs.Snapshot
+	// Violations are the invariant violations of a checked run (nil unless
+	// checking was armed; empty means clean).
+	Violations []check.Violation
+	// WallSeconds is the host wall-clock cost of the run (host-dependent,
+	// never feeds simulation output).
+	WallSeconds float64
 }
 
-// RunJamming executes the experiment.
-func RunJamming(cfg JammingConfig) *JammingResult {
+// RunJamming executes the experiment. It returns an error when the attack
+// configuration is invalid (see jammer.New).
+func RunJamming(cfg JammingConfig) (*JammingResult, error) {
 	if cfg.Vehicles < 2 {
 		panic("scenario: jamming run needs at least two vehicles")
 	}
@@ -89,6 +98,9 @@ func RunJamming(cfg JammingConfig) *JammingResult {
 	}
 	if cfg.Telemetry {
 		stack.Obs = obs.NewRegistry()
+	}
+	if cfg.Check || check.ForceAll {
+		stack.Check = check.New()
 	}
 	w := NewWorld(stack, cfg.Seed)
 	s := w.Sched
@@ -134,7 +146,10 @@ func RunJamming(cfg JammingConfig) *JammingResult {
 	jpos := geom.V(0, cfg.JammerDistM)
 	jradio := phy.NewRadio(jamID, s, func() geom.Vec2 { return jpos }, stack.Radio)
 	w.Channel.Attach(jradio)
-	j := jammer.New(jamID, s, jradio, w.PF, cfg.Jam)
+	j, err := jammer.New(jamID, s, jradio, w.PF, cfg.Jam)
+	if err != nil {
+		return nil, err
+	}
 
 	s.RunUntil(cfg.Duration)
 
@@ -157,6 +172,8 @@ func RunJamming(cfg JammingConfig) *JammingResult {
 	if totalSent > 0 {
 		res.OverallDelivery = float64(totalRecv) / float64(totalSent)
 	}
-	res.Telemetry = w.HarvestTelemetry(wallStart)
-	return res
+	res.Telemetry = w.HarvestTelemetry()
+	res.Violations = w.AuditInvariants()
+	res.WallSeconds = time.Since(wallStart).Seconds()
+	return res, nil
 }

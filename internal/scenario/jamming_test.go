@@ -10,7 +10,11 @@ func runJam(t *testing.T, mod func(*scenario.JammingConfig)) *scenario.JammingRe
 	t.Helper()
 	cfg := scenario.DefaultJamming(scenario.MAC80211)
 	mod(&cfg)
-	return scenario.RunJamming(cfg)
+	r, err := scenario.RunJamming(cfg)
+	if err != nil {
+		t.Fatalf("RunJamming: %v", err)
+	}
+	return r
 }
 
 func TestNoJamBaselineDelivers(t *testing.T) {

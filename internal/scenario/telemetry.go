@@ -1,8 +1,6 @@
 package scenario
 
 import (
-	"time"
-
 	"vanetsim/internal/ebl"
 	"vanetsim/internal/obs"
 	"vanetsim/internal/sim"
@@ -70,10 +68,12 @@ func newLiveInstruments(r *obs.Registry, mac MACType) liveInstruments {
 
 // HarvestTelemetry folds every layer's post-run statistics and the
 // scheduler's execution profile into the world's registry and returns the
-// snapshot. wallStart is when the run began on the host clock; comms lists
-// the platoon TCP endpoints to summarise. It returns nil when telemetry is
-// disabled.
-func (w *World) HarvestTelemetry(wallStart time.Time, comms ...*ebl.PlatoonComms) *obs.Snapshot {
+// snapshot. comms lists the platoon TCP endpoints to summarise. It returns
+// nil when telemetry is disabled. The snapshot is a pure function of the
+// run: no host-clock value flows into it, so the same seed produces
+// byte-identical reports on any machine (host-clock cost lives on the
+// result structs' WallSeconds fields instead).
+func (w *World) HarvestTelemetry(comms ...*ebl.PlatoonComms) *obs.Snapshot {
 	r := w.Obs
 	if !r.Enabled() {
 		return nil
@@ -192,16 +192,8 @@ func (w *World) HarvestTelemetry(wallStart time.Time, comms ...*ebl.PlatoonComms
 	r.Gauge("sched/max_pending", "pending-heap high-water mark").
 		Set(float64(s.MaxPending()))
 
-	// Host-clock cost: these are the only host-dependent metrics, and they
-	// feed gauges only — simulation behaviour never reads them.
-	wall := time.Since(wallStart).Seconds()
-	r.Gauge("run/wall_seconds", "host wall-clock time for the run").Set(wall)
 	r.Gauge("run/sim_seconds", "simulated time covered by the run").
 		Set(float64(s.Now()))
-	if now := float64(s.Now()); now > 0 {
-		r.Gauge("run/wall_per_sim_s", "host seconds per simulated second").
-			Set(wall / now)
-	}
 
 	return r.Snapshot()
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vanetsim/internal/anim"
+	"vanetsim/internal/check"
 	"vanetsim/internal/ebl"
 	"vanetsim/internal/fault"
 	"vanetsim/internal/geom"
@@ -48,6 +49,12 @@ type TrialConfig struct {
 	// AnimInterval enables position recording (the Nam-animator role)
 	// with the given sample period; 0 disables it.
 	AnimInterval sim.Time
+	// Check arms the runtime invariant checker: layer seams audit packet
+	// conservation, slot exclusivity, route sanity and event monotonicity,
+	// and the violations land on TrialResult.Violations. Observation-only:
+	// the same seed yields identical outputs with it on or off. The
+	// `checkall` build tag forces it on regardless of this field.
+	Check bool
 	// Faults is the impairment recipe (packet/bit error models, bursty
 	// loss, shadowing, scheduled outages). The zero value injects nothing:
 	// an unfaulted run is byte-identical with or without this field.
@@ -129,6 +136,12 @@ type TrialResult struct {
 	// Telemetry is the cross-layer metrics snapshot (nil unless
 	// Config.Telemetry).
 	Telemetry *obs.Snapshot
+	// Violations are the invariant violations recorded during a checked run
+	// (nil unless checking was armed; empty means the run was clean).
+	Violations []check.Violation
+	// WallSeconds is the host wall-clock cost of the run. It is the only
+	// host-dependent field and feeds no simulation output.
+	WallSeconds float64
 }
 
 // RunTrial executes the paper's scenario under cfg and returns the
@@ -153,6 +166,9 @@ func RunTrial(cfg TrialConfig) *TrialResult {
 	stack.Faults = cfg.Faults
 	if cfg.Telemetry {
 		stack.Obs = obs.NewRegistry()
+	}
+	if cfg.Check || check.ForceAll {
+		stack.Check = check.New()
 	}
 	w := NewWorld(stack, cfg.Seed)
 	s := w.Sched
@@ -194,6 +210,9 @@ func RunTrial(cfg TrialConfig) *TrialResult {
 		c.BasePort = basePort
 		c.ThroughputBin = cfg.ThroughputBn
 		c.Obs = stack.Obs
+		if stack.Check != nil {
+			c.Check = check.NewEnvelope(stack.Check, envelopeRate(stack))
+		}
 		if cfg.TCPWindow > 0 {
 			c.TCP.MaxCwnd = cfg.TCPWindow
 		}
@@ -230,8 +249,19 @@ func RunTrial(cfg TrialConfig) *TrialResult {
 		res.Trace = tracer.Records()
 	}
 	res.Anim = rec
-	res.Telemetry = w.HarvestTelemetry(wallStart, comms1, comms2)
+	res.Telemetry = w.HarvestTelemetry(comms1, comms2)
+	res.Violations = w.AuditInvariants(comms1, comms2)
+	res.WallSeconds = time.Since(wallStart).Seconds()
 	return res
+}
+
+// envelopeRate picks the radio bit rate the EBL delay envelope is checked
+// against: the active MAC's data rate.
+func envelopeRate(stack StackConfig) float64 {
+	if stack.MAC == MAC80211 {
+		return stack.DCF.DataRateBps
+	}
+	return stack.TDMA.DataRateBps
 }
 
 // String summarises the configuration.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"vanetsim/internal/aodv"
+	"vanetsim/internal/check"
 	"vanetsim/internal/fault"
 	"vanetsim/internal/mac"
 	"vanetsim/internal/mac80211"
@@ -70,6 +71,11 @@ type StackConfig struct {
 	// Faults is the impairment recipe. The zero value injects nothing and
 	// leaves every unfaulted golden digest untouched.
 	Faults fault.Plan
+	// Check, when non-nil, arms the runtime invariant checker: layer seams
+	// audit packet conservation, slot exclusivity, route sanity and event
+	// monotonicity into this registry. Checking is observation-only — runs
+	// are byte-identical with it on or off.
+	Check *check.Registry
 }
 
 // DefaultStackConfig returns the paper's fixed parameters: drop-tail
@@ -118,6 +124,19 @@ type World struct {
 	live     liveInstruments
 	fault    *fault.Injector // nil unless a per-link loss model is enabled
 	shadow   *phy.Shadowing  // nil unless shadowing is enabled
+
+	// Invariant-checking state (all nil/empty when cfg.Check is nil).
+	check      *check.Registry
+	chkQueues  []labeledQueue
+	slotGuard  *check.SlotGuard  // TDMA worlds only
+	routeGuard *check.RouteGuard // shared across all agents
+}
+
+// labeledQueue pairs a conservation-counting queue with its owner for
+// end-of-run audit messages.
+type labeledQueue struct {
+	id packet.NodeID
+	q  *check.CountingQueue
 }
 
 // NewWorld creates an empty world with the given stack recipe and seed.
@@ -151,8 +170,20 @@ func NewWorld(cfg StackConfig, seed uint64) *World {
 	if cfg.MAC == MACTDMA {
 		w.schedule = mactdma.NewSchedule(cfg.TDMA.SlotDuration())
 	}
+	if cfg.Check != nil {
+		w.check = cfg.Check
+		s.SetStepHook(check.Monotonic(w.check))
+		w.routeGuard = check.NewRouteGuard(w.check)
+		if cfg.MAC == MACTDMA {
+			w.slotGuard = check.NewSlotGuard(w.check, cfg.TDMA.SlotDuration())
+		}
+	}
 	return w
 }
+
+// CheckRegistry returns the invariant-violation registry (nil when
+// checking is disabled).
+func (w *World) CheckRegistry() *check.Registry { return w.check }
 
 // FaultStats returns the per-link injector's counters (zero when no loss
 // model is enabled).
@@ -188,6 +219,13 @@ func (w *World) AddNode(id packet.NodeID, pos phy.PositionFn) *Node {
 	default:
 		n.Ifq = queue.NewDropTail(w.cfg.QueueCap, nil)
 	}
+	if w.check != nil {
+		// Transparent conservation counter under the telemetry decorator so
+		// it sees exactly what the MAC and network layer exchange.
+		cq := check.Count(n.Ifq)
+		w.chkQueues = append(w.chkQueues, labeledQueue{id: id, q: cq})
+		n.Ifq = cq
+	}
 	if w.Obs.Enabled() {
 		// Transparent decorator: an unwrapped queue pays nothing when
 		// telemetry is off.
@@ -197,6 +235,7 @@ func (w *World) AddNode(id packet.NodeID, pos phy.PositionFn) *Node {
 	case MACTDMA:
 		n.TDMA = mactdma.New(id, w.Sched, n.Radio, n.Ifq, n.Net, w.schedule, w.cfg.TDMA)
 		n.TDMA.SetObs(w.live.tdmaSlotWait)
+		n.TDMA.SetCheck(w.slotGuard)
 		n.MAC = n.TDMA
 	case MAC80211:
 		rng := w.RNG.Fork(fmt.Sprintf("mac80211-%d", id))
@@ -208,6 +247,7 @@ func (w *World) AddNode(id packet.NodeID, pos phy.PositionFn) *Node {
 	}
 	n.Net.Attach(n.Ifq, n.MAC)
 	n.AODV = aodv.New(w.Sched, n.Net, w.PF, w.RNG.Fork(fmt.Sprintf("aodv-%d", id)), w.cfg.AODV)
+	n.AODV.SetCheck(w.routeGuard)
 	w.Nodes = append(w.Nodes, n)
 	return n
 }

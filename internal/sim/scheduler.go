@@ -141,7 +141,18 @@ type Scheduler struct {
 	executed   uint64           // number of events fired, for instrumentation
 	byKind     [numKinds]uint64 // events fired, split by EventKind
 	maxPending int              // pending-heap high-water mark
+
+	// stepHook, when non-nil, observes every clock advance just before it
+	// happens (from current time to the firing event's time). It exists for
+	// the runtime invariant checker; the disabled state costs Step one nil
+	// comparison.
+	stepHook func(from, to Time)
 }
+
+// SetStepHook installs an observer called on every Step with the clock's
+// current and next value, before the advance. Pass nil to remove it. The
+// hook must not schedule or cancel events.
+func (s *Scheduler) SetStepHook(fn func(from, to Time)) { s.stepHook = fn }
 
 // New returns a scheduler with its clock at zero.
 func New() *Scheduler { return &Scheduler{} }
@@ -252,6 +263,9 @@ func (s *Scheduler) Step() bool {
 		return false
 	}
 	n := s.popMin()
+	if s.stepHook != nil {
+		s.stepHook(s.now, n.at)
+	}
 	s.now = n.at
 	s.executed++
 	s.byKind[n.kind]++

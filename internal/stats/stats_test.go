@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -273,6 +274,66 @@ func TestMeanCIPropagatesNaN(t *testing.T) {
 	ci := MeanCI([]float64{math.NaN(), 1, 2}, 0.95)
 	if !math.IsNaN(ci.Mean) || !math.IsNaN(ci.HalfWidth) {
 		t.Fatalf("NaN sample must poison the CI, got %+v", ci)
+	}
+}
+
+// Property: Percentile is monotone non-decreasing in p, and at the exact
+// rank points p = 100·i/(n-1) it agrees with the sorted sample.
+func TestPercentileMonotoneAndSortedAgreement(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 2.5 {
+			v := Percentile(xs, p)
+			if math.IsNaN(v) || v < prev {
+				return false
+			}
+			prev = v
+		}
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		if len(sorted) == 1 {
+			return Percentile(xs, 50) == sorted[0]
+		}
+		for i := range sorted {
+			p := 100 * float64(i) / float64(len(sorted)-1)
+			if !almost(Percentile(xs, p), sorted[i], 1e-9*math.Max(1, math.Abs(sorted[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MeanCI on identical samples: the variance is exactly zero, so the
+// interval must collapse to a zero half-width, not go NaN or negative.
+func TestMeanCIZeroVariance(t *testing.T) {
+	ci := MeanCI([]float64{2.5, 2.5, 2.5, 2.5}, 0.95)
+	if ci.Mean != 2.5 {
+		t.Fatalf("mean = %v, want 2.5", ci.Mean)
+	}
+	if ci.HalfWidth != 0 {
+		t.Fatalf("half-width = %v, want exactly 0", ci.HalfWidth)
+	}
+	if ci.Lo() != 2.5 || ci.Hi() != 2.5 {
+		t.Fatalf("interval = [%v, %v], want degenerate at 2.5", ci.Lo(), ci.Hi())
+	}
+	// Near-zero variance (1 ulp of spread): half-width must stay finite,
+	// non-negative, and far below the mean.
+	eps := math.Nextafter(2.5, 3) - 2.5
+	ci = MeanCI([]float64{2.5, 2.5 + eps, 2.5, 2.5 + eps}, 0.95)
+	if math.IsNaN(ci.HalfWidth) || ci.HalfWidth < 0 || ci.HalfWidth > 1e-10 {
+		t.Fatalf("near-zero-variance half-width = %v", ci.HalfWidth)
 	}
 }
 

@@ -35,7 +35,10 @@ func TestBulkTransferUnderHiddenInterference(t *testing.T) {
 	jcfg.DutyCycle = 0.5
 	jcfg.StartAt = 0.01
 	jcfg.StopAt = 15
-	j := jammer.New(99, w.Sched, jr, w.PF, jcfg)
+	j, err := jammer.New(99, w.Sched, jr, w.PF, jcfg)
+	if err != nil {
+		t.Fatalf("jammer.New: %v", err)
+	}
 
 	const n = 150
 	snd.SendBytes(n * cfg.SegmentSize)
@@ -75,7 +78,9 @@ func TestTCPUnderSustainedJamStallsThenRecovers(t *testing.T) {
 	jcfg := jammer.DefaultConfig()
 	jcfg.StartAt = 0.005 // before slow start can finish
 	jcfg.StopAt = 5
-	jammer.New(99, w.Sched, jr, w.PF, jcfg)
+	if _, err := jammer.New(99, w.Sched, jr, w.PF, jcfg); err != nil {
+		t.Fatalf("jammer.New: %v", err)
+	}
 
 	const n = 50
 	snd.SendBytes(n * cfg.SegmentSize)

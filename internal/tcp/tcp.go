@@ -161,6 +161,10 @@ func (s *Sender) Cwnd() float64 { return s.cwnd }
 // Outstanding returns the number of unacknowledged segments in flight.
 func (s *Sender) Outstanding() int { return s.nextSeq - 1 - s.highestAcked }
 
+// HighestAcked returns the highest cumulatively acknowledged segment
+// number (0 before any acknowledgement).
+func (s *Sender) HighestAcked() int { return s.highestAcked }
+
 // SendBytes asks the sender to transfer n more bytes (the application
 // write interface; CBR-over-TCP calls this once per tick).
 func (s *Sender) SendBytes(n int) {

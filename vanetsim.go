@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"vanetsim/internal/check"
 	"vanetsim/internal/ebl"
 	"vanetsim/internal/obs"
 	"vanetsim/internal/runner"
@@ -120,8 +121,14 @@ type JamFlowResult = scenario.JamFlowResult
 // jammer starting at t = 10 s.
 func DefaultJamming(mac MACType) JammingConfig { return scenario.DefaultJamming(mac) }
 
-// RunJamming executes the denial-of-service experiment.
-func RunJamming(cfg JammingConfig) *JammingResult { return scenario.RunJamming(cfg) }
+// RunJamming executes the denial-of-service experiment. It returns an
+// error when the attack configuration is invalid.
+func RunJamming(cfg JammingConfig) (*JammingResult, error) { return scenario.RunJamming(cfg) }
+
+// CheckViolation is one runtime invariant violation recorded by a checked
+// run (TrialConfig.Check and the Highway/Jamming equivalents). A clean
+// checked run leaves the result's Violations slice empty.
+type CheckViolation = check.Violation
 
 // StoppingAnalysis is the §III.E stopping-distance feasibility result.
 type StoppingAnalysis = ebl.StoppingAnalysis
