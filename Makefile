@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify check bench bench-obs bench-parallel bench-hot bench-guard fuzz fuzz-nightly lint
+.PHONY: build test verify check bench bench-obs bench-parallel bench-hot bench-guard fuzz fuzz-nightly lint trace
 
 build:
 	$(GO) build ./...
@@ -45,12 +45,13 @@ bench-parallel:
 
 # bench-hot runs the discrete-event hot-path benchmarks tracked in
 # BENCH_PR3.json: scheduler push/pop and cancel/reschedule, trace
-# encode/decode, and the end-to-end trial. Fixed -benchtime values keep
-# runs comparable across machines and commits.
+# encode/decode, the end-to-end trial, and the trial with the span
+# recorder disarmed (pinning the nil-check-only span overhead). Fixed
+# -benchtime values keep runs comparable across machines and commits.
 bench-hot:
 	$(GO) test -bench='BenchmarkScheduler(HotPath|CancelReschedule)$$' -benchmem -benchtime=2s -run='^$$' ./internal/sim
 	$(GO) test -bench='BenchmarkTrace(Encode|Decode)$$' -benchmem -benchtime=2s -run='^$$' ./internal/trace
-	$(GO) test -bench='BenchmarkTrial1Baseline$$' -benchmem -benchtime=5x -run='^$$' .
+	$(GO) test -bench='BenchmarkTrial1(Baseline|SpansDisarmed)$$' -benchmem -benchtime=5x -run='^$$' .
 
 # bench-guard is the benchmark-regression gate: run the tracked hot-path
 # benchmarks and judge them against BENCH_PR3.json with cmd/benchguard
@@ -59,6 +60,15 @@ bench-guard:
 	$(GO) build -o /tmp/benchguard ./cmd/benchguard
 	$(MAKE) --no-print-directory bench-hot | tee /tmp/bench-hot.txt
 	/tmp/benchguard -baseline BENCH_PR3.json -input /tmp/bench-hot.txt
+
+# trace runs the quickstart example (trial 1) with causal span tracing
+# armed and writes a Chrome trace-event file: open trial1-spans.json in
+# chrome://tracing or https://ui.perfetto.dev to browse every packet's
+# lifecycle per node. The NDJSON twin lands next to it for jq/scripting.
+trace:
+	$(GO) build -o /tmp/vanetsim-trace ./cmd/vanetsim
+	/tmp/vanetsim-trace -trial 1 -spans trial1-spans.ndjson -spans-chrome trial1-spans.json > /dev/null
+	@echo "wrote trial1-spans.json (chrome://tracing) and trial1-spans.ndjson"
 
 # fuzz exercises the trace-line round trip for a short burst.
 fuzz:

@@ -8,6 +8,7 @@
 //	eblreport -stats                 # plus per-trial telemetry summaries
 //	eblreport -stats-json report.ndjson  # machine-readable trial metrics
 //	eblreport -degrade               # only the fault-injection degradation report
+//	eblreport -latency-breakdown     # per-component delay decomposition, 802.11 vs TDMA
 //
 // The degradation report sweeps the fault layer's loss axis per MAC and
 // tabulates how delay, throughput, and the braking-safety margin erode as
@@ -44,14 +45,51 @@ func run(args []string, out io.Writer) error {
 		degrade  = fs.Bool("degrade", false, "print only the fault-injection degradation report")
 		degCSV   = fs.String("degrade-csv", "", "also write the degradation points as CSV to this path")
 		checkInv = fs.Bool("check", false, "arm the runtime invariant checker on every run; non-zero exit on any violation")
+		latency  = fs.Bool("latency-breakdown", false, "print only the span-derived latency decomposition (TDMA vs 802.11)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *latency {
+		return latencyBreakdownReport(out, *jobs)
 	}
 	if *degrade {
 		return degradationReport(out, *jobs, *degCSV, *checkInv)
 	}
 	return reportWith(out, *jobs, *stats, *statsJSN, *checkInv)
+}
+
+// latencyBreakdownReport runs the paper's MAC comparison (trial 1 vs
+// trial 3) with span tracing armed and decomposes each MAC's mean one-way
+// delay into the mechanisms behind it: interface-queue residency, MAC
+// contention or slot wait, airtime, retransmit gaps, and AODV rerouting.
+func latencyBreakdownReport(out io.Writer, jobs int) error {
+	fmt.Fprintln(out, "Latency decomposition — span-traced delay components per MAC")
+	fmt.Fprintln(out, "=============================================================")
+
+	cfgs := []vanetsim.TrialConfig{vanetsim.Trial1(), vanetsim.Trial3()}
+	for i := range cfgs {
+		cfgs[i].Spans = true
+		// Comms begin around t = 20 s; 40 s covers the interesting window
+		// at a fraction of the full run's cost.
+		cfgs[i].Duration = vanetsim.Seconds(40)
+	}
+	all := vanetsim.RunTrials(cfgs, jobs)
+
+	labels := make([]string, len(all))
+	aggs := make([]vanetsim.LatencyAggregate, len(all))
+	for i, r := range all {
+		labels[i] = fmt.Sprintf("%v/%v", r.Config.Name, r.Config.MAC)
+		aggs[i] = vanetsim.SummarizeBreakdowns(vanetsim.AnalyzeSpans(r.Spans))
+	}
+	fmt.Fprintf(out, "\nMean per-delivered-packet components (%.0f s simulated):\n\n",
+		float64(cfgs[0].Duration))
+	fmt.Fprint(out, vanetsim.FormatLatencyComparison(labels, aggs))
+	fmt.Fprintln(out, "\nqueueing = interface-queue residency; contention = TDMA slot wait or")
+	fmt.Fprintln(out, "DCF DIFS+backoff; airtime = serialization on the medium; retransmit =")
+	fmt.Fprintln(out, "inter-attempt gaps; rerouting = AODV discovery buffering; other =")
+	fmt.Fprintln(out, "propagation and inter-layer handoff.")
+	return nil
 }
 
 // degradationReport sweeps channel loss per MAC and tabulates how delay,

@@ -5,6 +5,8 @@
 //
 //	vanetsim -trial 1 -trace t1.tr
 //	ebltrace t1.tr
+//	vanetsim -trial 1 -trace /dev/stdout | ebltrace -        # stream from stdin
+//	ebltrace -format chrome t1.tr > t1.json                  # chrome://tracing view
 package main
 
 import (
@@ -22,31 +24,43 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ebltrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("ebltrace", flag.ContinueOnError)
 	bin := fs.Float64("bin", 0.5, "throughput bin width in seconds")
 	stats := fs.Bool("stats", false, "print a telemetry-style summary of the trace records")
 	statsJSN := fs.String("stats-json", "", "write the trace summary as NDJSON to this path")
+	format := fs.String("format", "report", "output format: report (delay/throughput tables) or chrome (trace-event JSON)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: ebltrace [-bin seconds] [-stats] [-stats-json path] <trace-file>")
+		return fmt.Errorf("usage: ebltrace [-bin seconds] [-stats] [-stats-json path] [-format report|chrome] <trace-file|->")
 	}
-	f, err := os.Open(fs.Arg(0))
+	src := in
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	recs, err := trace.ReadAll(src)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	recs, err := trace.ReadAll(f)
-	if err != nil {
-		return err
+	switch *format {
+	case "report":
+	case "chrome":
+		return writeChromeTrace(out, recs)
+	default:
+		return fmt.Errorf("unknown -format %q (want report or chrome)", *format)
 	}
 	fmt.Fprintf(out, "%d trace records\n\n", len(recs))
 
@@ -151,4 +165,61 @@ func lastTime(recs []trace.Record) sim.Time {
 		}
 	}
 	return end
+}
+
+// writeChromeTrace converts parsed trace records to Chrome trace-event JSON
+// (chrome://tracing / Perfetto): one instant event per record on the node's
+// thread track, plus one complete ("X") "flight" event per agent-level
+// send/receive pair showing the packet's one-way flight on the receiver's
+// track. Timestamps are microseconds, as the format requires.
+func writeChromeTrace(out io.Writer, recs []trace.Record) error {
+	type key struct {
+		uid uint64
+		dst packet.NodeID
+	}
+	sends := make(map[key]sim.Time)
+	us := func(t sim.Time) float64 { return float64(t) * 1e6 }
+	first := true
+	emit := func(format string, args ...any) error {
+		sep := ",\n"
+		if first {
+			sep, first = "", false
+		}
+		_, err := fmt.Fprintf(out, sep+format, args...)
+		return err
+	}
+	if _, err := fmt.Fprint(out, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if r.Layer == trace.LayerAgent {
+			k := key{r.UID, r.Dst}
+			switch r.Op {
+			case trace.Send:
+				sends[k] = r.At
+			case trace.Recv:
+				if at, ok := sends[k]; ok {
+					delete(sends, k)
+					if err := emit(`{"name":"flight","cat":"agt","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"uid":%d,"type":%q,"size":%d}}`,
+						us(at), us(r.At-at), int32(r.Node), r.UID, r.Type, r.Size); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		name := opNames[r.Op]
+		if name == "" {
+			name = "other"
+		}
+		name += " " + string(r.Layer)
+		if r.Op == trace.Drop && r.Reason != "" {
+			name += "/" + r.Reason
+		}
+		if err := emit(`{"name":%q,"cat":%q,"ph":"i","ts":%.3f,"pid":1,"tid":%d,"s":"t","args":{"uid":%d,"type":%q,"size":%d}}`,
+			name, strings.ToLower(string(r.Layer)), us(r.At), int32(r.Node), r.UID, r.Type, r.Size); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(out, "\n]}\n")
+	return err
 }

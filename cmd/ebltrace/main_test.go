@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,7 +26,7 @@ func writeTemp(t *testing.T, content string) string {
 
 func TestAnalyzeSampleTrace(t *testing.T) {
 	var sb strings.Builder
-	if err := run([]string{writeTemp(t, sampleTrace)}, &sb); err != nil {
+	if err := run([]string{writeTemp(t, sampleTrace)}, strings.NewReader(""), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -45,14 +46,68 @@ func TestAnalyzeSampleTrace(t *testing.T) {
 }
 
 func TestUsageErrors(t *testing.T) {
-	if err := run(nil, &strings.Builder{}); err == nil {
+	if err := run(nil, strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Fatal("no args should fail")
 	}
-	if err := run([]string{"/nonexistent/file.tr"}, &strings.Builder{}); err == nil {
+	if err := run([]string{"/nonexistent/file.tr"}, strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Fatal("missing file should fail")
 	}
-	if err := run([]string{writeTemp(t, "garbage\n")}, &strings.Builder{}); err == nil {
+	if err := run([]string{writeTemp(t, "garbage\n")}, strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Fatal("malformed trace should fail")
+	}
+	if err := run([]string{"-format", "bogus", "-"}, strings.NewReader(sampleTrace), &strings.Builder{}); err == nil {
+		t.Fatal("unknown format should fail")
+	}
+}
+
+func TestStdinDash(t *testing.T) {
+	// "-" reads the trace from the in reader instead of a file.
+	var sb strings.Builder
+	if err := run([]string{"-"}, strings.NewReader(sampleTrace), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "4 trace records") {
+		t.Fatalf("stdin trace not parsed:\n%s", out)
+	}
+	if !strings.Contains(out, "0:100->1:200") {
+		t.Fatalf("flow missing from stdin analysis:\n%s", out)
+	}
+}
+
+func TestChromeFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-format", "chrome", "-"}, strings.NewReader(sampleTrace), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	// 4 instants plus 2 send/recv flight pairs.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("want 6 trace events, got %d", len(doc.TraceEvents))
+	}
+	flights := 0
+	for _, e := range doc.TraceEvents {
+		if e.Name != "flight" {
+			continue
+		}
+		flights++
+		if e.Ph != "X" || e.Dur <= 0 || e.Tid != 1 {
+			t.Fatalf("bad flight event: %+v", e)
+		}
+	}
+	if flights != 2 {
+		t.Fatalf("want 2 flight events, got %d", flights)
 	}
 }
 
@@ -61,7 +116,7 @@ func TestEndToEndWithGeneratedTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "gen.tr")
 	genTrace(t, path)
 	var sb strings.Builder
-	if err := run([]string{path}, &sb); err != nil {
+	if err := run([]string{path}, strings.NewReader(""), &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "One-way delay per flow") {

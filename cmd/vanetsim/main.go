@@ -11,6 +11,8 @@
 //	vanetsim -mac 802.11 -packet 500  # a configuration the paper didn't run
 //	vanetsim -trial 3 -stats          # tables plus the telemetry summary
 //	vanetsim -trial 1 -stats-json m.ndjson  # machine-readable run report
+//	vanetsim -trial 1 -spans s.ndjson # causal per-packet span events
+//	vanetsim -trial 3 -spans-chrome s.json  # the same, for chrome://tracing
 //
 // Fault injection (deterministic, seedable; see README "Fault injection"):
 //
@@ -55,6 +57,8 @@ func run(args []string, out io.Writer) (err error) {
 		animate  = fs.Bool("anim", false, "play an ASCII animation of vehicle motion (nam's role)")
 		stats    = fs.Bool("stats", false, "print the cross-layer telemetry summary after the run")
 		checkInv = fs.Bool("check", false, "arm the runtime invariant checker; non-zero exit on any violation")
+		spansOut = fs.String("spans", "", "write causal per-packet span events as NDJSON to this path")
+		spansChr = fs.String("spans-chrome", "", "write span events as Chrome trace-event JSON to this path")
 		statsJSN = fs.String("stats-json", "", "write run telemetry as NDJSON to this path")
 		statsPrm = fs.String("stats-prom", "", "write run telemetry in Prometheus text format to this path")
 		loss     = fs.Float64("loss", 0, "independent per-frame loss probability")
@@ -110,6 +114,7 @@ func run(args []string, out io.Writer) (err error) {
 	cfg.CollectTrace = *traceOut != ""
 	cfg.Telemetry = *stats || *statsJSN != "" || *statsPrm != ""
 	cfg.Check = *checkInv
+	cfg.Spans = *spansOut != "" || *spansChr != ""
 	if *burstP < 0 || *burstP > 1 {
 		return fmt.Errorf("-burst-loss %v outside [0, 1]", *burstP)
 	}
@@ -131,6 +136,9 @@ func run(args []string, out io.Writer) (err error) {
 		if n := len(r.Violations); n > 0 {
 			for i, v := range r.Violations {
 				fmt.Fprintln(os.Stderr, "vanetsim:", v.Error())
+				for _, line := range v.Trail {
+					fmt.Fprintln(os.Stderr, "vanetsim:   trail:", line)
+				}
 				if i == 9 && n > 10 {
 					fmt.Fprintf(os.Stderr, "vanetsim: ... and %d more\n", n-10)
 					break
@@ -169,6 +177,18 @@ func run(args []string, out io.Writer) (err error) {
 			return err
 		}
 		fmt.Fprintf(out, "wrote %d trace records to %s\n", len(r.Trace), *traceOut)
+	}
+	if *spansOut != "" {
+		if err := vanetsim.WriteSpans(*spansOut, r.Spans); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d span events to %s\n", len(r.Spans), *spansOut)
+	}
+	if *spansChr != "" {
+		if err := vanetsim.WriteSpansChrome(*spansChr, r.Spans); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d span events (chrome trace) to %s\n", len(r.Spans), *spansChr)
 	}
 
 	if *csvFig != "" {

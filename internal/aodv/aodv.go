@@ -5,6 +5,7 @@ import (
 	"vanetsim/internal/netlayer"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/span"
 )
 
 // Config holds AODV protocol constants. DefaultConfig matches ns-2's AODV
@@ -134,6 +135,10 @@ type Agent struct {
 	// chk validates routes at use time and packet hop budgets along paths
 	// (nil when the invariant checker is disabled).
 	chk *check.RouteGuard
+
+	// spans records routing decisions for the causal tracer (nil when
+	// tracing is disarmed).
+	spans *span.Recorder
 }
 
 var _ netlayer.Routing = (*Agent)(nil)
@@ -166,6 +171,9 @@ func (a *Agent) Stats() Stats { return a.stats }
 // SetCheck wires the world-shared route guard (may be nil).
 func (a *Agent) SetCheck(g *check.RouteGuard) { a.chk = g }
 
+// SetSpans wires the causal span recorder (may be nil).
+func (a *Agent) SetSpans(rec *span.Recorder) { a.spans = rec }
+
 // Routes returns a snapshot of the routing table for inspection.
 func (a *Agent) Routes() []Route { return a.tbl.snapshot() }
 
@@ -195,6 +203,7 @@ func (a *Agent) HandleOutgoing(p *packet.Packet) {
 func (a *Agent) useRoute(p *packet.Packet, r *Route) {
 	now := a.sched.Now()
 	a.chk.UseRoute(now, r.Dst, r.Valid, r.Expiry, r.NextHop, r.Hops)
+	a.spans.Record(span.OpRouteTx, span.CauseNone, a.id, p)
 	until := now + a.cfg.ActiveRouteTimeout
 	p.IP.NextHop = r.NextHop
 	a.tbl.refresh(r.Dst, until)
@@ -203,10 +212,13 @@ func (a *Agent) useRoute(p *packet.Packet, r *Route) {
 }
 
 func (a *Agent) bufferAndDiscover(p *packet.Packet) {
-	a.bufferAndDiscoverMode(p, false)
+	a.bufferAndDiscoverMode(p, false, span.CauseNone)
 }
 
-func (a *Agent) bufferAndDiscoverMode(p *packet.Packet, repair bool) {
+// bufferAndDiscoverMode buffers p pending discovery; cause distinguishes a
+// plain no-route buffer (CauseNone) from local repair and source salvage in
+// the span record.
+func (a *Agent) bufferAndDiscoverMode(p *packet.Packet, repair bool, cause span.Cause) {
 	d := a.disc[p.IP.Dst]
 	if d == nil {
 		d = &discovery{ttl: a.cfg.TTLStart, repair: repair}
@@ -215,8 +227,10 @@ func (a *Agent) bufferAndDiscoverMode(p *packet.Packet, repair bool) {
 	}
 	if len(d.buffer) >= a.cfg.MaxBufferPerDest {
 		a.stats.BufferedDropped++
+		a.spans.Record(span.OpNetDrop, span.CauseBufOverflow, a.id, p)
 		return
 	}
+	a.spans.Record(span.OpRouteBuf, cause, a.id, p)
 	d.buffer = append(d.buffer, p)
 }
 
@@ -259,6 +273,9 @@ func (a *Agent) onDiscoveryTimeout(dst packet.NodeID) {
 	d.retries++
 	if d.retries > a.cfg.RREQRetries {
 		a.stats.BufferedDropped += len(d.buffer)
+		for _, bp := range d.buffer {
+			a.spans.Record(span.OpNetDrop, span.CauseDiscoveryFail, a.id, bp)
+		}
 		if d.repair {
 			// The repair failed: now the upstream sources must hear about
 			// the broken route.
@@ -302,17 +319,20 @@ func (a *Agent) handleData(p *packet.Packet) {
 	p.IP.TTL--
 	if p.IP.TTL <= 0 {
 		a.stats.DataTTLExpired++
+		a.spans.Record(span.OpNetDrop, span.CauseTTLExpired, a.id, p)
 		return
 	}
 	r := a.tbl.valid(p.IP.Dst, now)
 	if r == nil {
 		// Forwarding failure: report back toward the source.
 		a.stats.DataNoRoute++
+		a.spans.Record(span.OpNetDrop, span.CauseNoRoute, a.id, p)
 		a.sendRERR([]Unreachable{{Dst: p.IP.Dst, Seq: a.seqOf(p.IP.Dst)}})
 		return
 	}
 	p.NumForwards++
 	a.chk.Forward(now, p.UID, p.IP.TTL, p.NumForwards)
+	a.spans.Record(span.OpFwd, span.CauseNone, a.id, p)
 	a.stats.DataForwarded++
 	// Traffic keeps the whole chain alive: destination, next hop, source,
 	// and previous hop (RFC 3561 §6.2 last paragraph).
@@ -427,6 +447,7 @@ func (a *Agent) recvRREP(p *packet.Packet, rp *RREP) {
 			for _, bp := range d.buffer {
 				if r == nil {
 					a.stats.BufferedDropped++
+					a.spans.Record(span.OpNetDrop, span.CauseDiscoveryFail, a.id, bp)
 					continue
 				}
 				a.useRoute(bp, r)
@@ -543,12 +564,12 @@ func (a *Agent) linkBreak(neighbour packet.NodeID, p *packet.Packet) {
 	switch {
 	case repairDst != packet.None:
 		a.stats.RepairsStarted++
-		a.bufferAndDiscoverMode(p, true)
+		a.bufferAndDiscoverMode(p, true, span.CauseRepair)
 	case isData && p.IP.Src == a.id:
 		// Source salvage: rediscover and retry rather than silently lose
 		// locally originated data.
 		a.stats.Salvaged++
-		a.bufferAndDiscover(p)
+		a.bufferAndDiscoverMode(p, false, span.CauseSalvage)
 	}
 }
 

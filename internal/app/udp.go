@@ -8,6 +8,7 @@ import (
 	"vanetsim/internal/netlayer"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/span"
 )
 
 // UDPHdrBytes is UDP+IP header overhead.
@@ -63,8 +64,10 @@ func (noopHandler) RecvFromNet(*packet.Packet) {}
 // UDPSink receives datagrams on a port and exposes them to an observer.
 type UDPSink struct {
 	sched  *sim.Scheduler
+	node   packet.NodeID
 	port   int
 	onRecv func(p *packet.Packet, at sim.Time)
+	spans  *span.Recorder
 
 	received int
 	bytes    int
@@ -74,10 +77,13 @@ var _ netlayer.PortHandler = (*UDPSink)(nil)
 
 // NewUDPSink binds a datagram sink to port on net.
 func NewUDPSink(sched *sim.Scheduler, n *netlayer.Net, port int) *UDPSink {
-	k := &UDPSink{sched: sched, port: port}
+	k := &UDPSink{sched: sched, node: n.ID(), port: port}
 	n.BindPort(port, k)
 	return k
 }
+
+// SetSpans wires the causal span recorder (may be nil).
+func (k *UDPSink) SetSpans(rec *span.Recorder) { k.spans = rec }
 
 // OnRecv registers an observer called for every datagram.
 func (k *UDPSink) OnRecv(fn func(p *packet.Packet, at sim.Time)) { k.onRecv = fn }
@@ -92,6 +98,7 @@ func (k *UDPSink) Bytes() int { return k.bytes }
 func (k *UDPSink) RecvFromNet(p *packet.Packet) {
 	k.received++
 	k.bytes += p.Size - UDPHdrBytes
+	k.spans.Record(span.OpAppRecv, span.CauseNone, k.node, p)
 	if k.onRecv != nil {
 		k.onRecv(p, k.sched.Now())
 	}

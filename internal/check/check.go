@@ -28,6 +28,12 @@ type Violation struct {
 	Layer string   // layer seam, e.g. "phy", "ifq", "tcp", "sched", "aodv", "ebl"
 	Name  string   // invariant slug, e.g. "arrival_conservation"
 	Msg   string   // human-readable detail
+	// UID is the offending packet's UID when the invariant concerns one
+	// packet (0 otherwise), and Trail is that packet's recent span history
+	// captured from the flight recorder at the moment the violation fired
+	// (nil when span tracing is off or the violation is packet-less).
+	UID   uint64
+	Trail []string
 }
 
 // Error renders the violation as a structured error string.
@@ -41,6 +47,9 @@ func (v Violation) Error() string {
 type Registry struct {
 	violations []Violation
 	total      int
+	// trail, when set, resolves a packet UID to its recent span history
+	// (the flight recorder's view) at the moment a violation is stored.
+	trail func(uid uint64) []string
 }
 
 // New returns an armed registry.
@@ -48,6 +57,18 @@ func New() *Registry { return &Registry{} }
 
 // Enabled reports whether checking is armed (nil-safe).
 func (r *Registry) Enabled() bool { return r != nil }
+
+// SetTrail installs a resolver mapping a packet UID to its recent span
+// events, used to attach a flight-recorder trail to packet-scoped
+// violations. A nil resolver (or a nil registry) leaves trails off; the
+// resolver runs only when a violation is actually stored, so a clean run
+// never pays for it.
+func (r *Registry) SetTrail(fn func(uid uint64) []string) {
+	if r == nil {
+		return
+	}
+	r.trail = fn
+}
 
 // Violationf records a violation at simulated time at (nil-safe). Only the
 // first maxStored violations are kept in full; all are counted.
@@ -60,6 +81,26 @@ func (r *Registry) Violationf(at sim.Time, layer, name, format string, args ...a
 		r.violations = append(r.violations, Violation{
 			At: at, Layer: layer, Name: name, Msg: fmt.Sprintf(format, args...),
 		})
+	}
+}
+
+// ViolationUIDf is Violationf for packet-scoped invariants: the violation
+// carries the offending packet's UID and, when a trail resolver is
+// installed, the packet's flight-recorder history.
+func (r *Registry) ViolationUIDf(at sim.Time, layer, name string, uid uint64, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.total++
+	if len(r.violations) < maxStored {
+		v := Violation{
+			At: at, Layer: layer, Name: name, UID: uid,
+			Msg: fmt.Sprintf(format, args...),
+		}
+		if r.trail != nil {
+			v.Trail = r.trail(uid)
+		}
+		r.violations = append(r.violations, v)
 	}
 }
 

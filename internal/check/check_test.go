@@ -76,13 +76,13 @@ func TestMonotonicHook(t *testing.T) {
 func TestSlotGuard(t *testing.T) {
 	r := New()
 	g := NewSlotGuard(r, 0.1)
-	g.Transmitting(0.05, 1) // slot 0
-	g.Transmitting(0.15, 2) // slot 1: different slot, fine
-	g.Transmitting(0.17, 2) // slot 1 again, same owner: fine
+	g.Transmitting(0.05, 1, 101) // slot 0
+	g.Transmitting(0.15, 2, 102) // slot 1: different slot, fine
+	g.Transmitting(0.17, 2, 103) // slot 1 again, same owner: fine
 	if r.Total() != 0 {
 		t.Fatalf("legal schedule flagged: %v", r.Violations())
 	}
-	g.Transmitting(0.19, 3) // slot 1, second owner: violation
+	g.Transmitting(0.19, 3, 104) // slot 1, second owner: violation
 	if r.Total() != 1 {
 		t.Fatalf("slot collision not flagged, total = %d", r.Total())
 	}
@@ -103,8 +103,8 @@ func TestSlotGuardBoundaryRounding(t *testing.T) {
 	// Slot starts for nodes 4 and 5 of a 6-node frame, computed the way
 	// mactdma.Schedule.NextSlotStart computes them.
 	frame := sim.Time(6) * slotDur
-	g.Transmitting(sim.Time(4)*slotDur+frame, 4) // slot 10
-	g.Transmitting(sim.Time(5)*slotDur+frame, 5) // slot 11
+	g.Transmitting(sim.Time(4)*slotDur+frame, 4, 1) // slot 10
+	g.Transmitting(sim.Time(5)*slotDur+frame, 5, 2) // slot 11
 	if r.Total() != 0 {
 		t.Fatalf("boundary-exact slot starts flagged: %v", r.Violations())
 	}
@@ -112,7 +112,7 @@ func TestSlotGuardBoundaryRounding(t *testing.T) {
 
 func TestSlotGuardNilSafe(t *testing.T) {
 	var g *SlotGuard
-	g.Transmitting(1, 1) // must not panic
+	g.Transmitting(1, 1, 1) // must not panic
 }
 
 func TestNewSlotGuardRejectsBadDuration(t *testing.T) {
@@ -191,15 +191,15 @@ func TestRouteGuardWindowEviction(t *testing.T) {
 func TestEnvelopeDelivery(t *testing.T) {
 	r := New()
 	e := NewEnvelope(r, 1e6) // 1000 bytes = 8 ms serialization
-	e.Delivery(10.0, 10.0-0.008, 1000)
+	e.Delivery(10.0, 10.0-0.008, 1000, 7)
 	if r.Total() != 0 {
 		t.Fatalf("exact serialization delay flagged: %v", r.Violations())
 	}
-	e.Delivery(10.0, 10.0-0.004, 1000) // half the bound: impossible
+	e.Delivery(10.0, 10.0-0.004, 1000, 8) // half the bound: impossible
 	if r.Total() != 1 {
 		t.Fatal("sub-serialization delay not flagged")
 	}
-	e.Delivery(10.0, 10.5, 1000) // delivered before sending
+	e.Delivery(10.0, 10.5, 1000, 9) // delivered before sending
 	if r.Total() != 2 {
 		t.Fatal("negative delay not flagged")
 	}
@@ -212,7 +212,7 @@ func TestEnvelopeDelivery(t *testing.T) {
 
 func TestEnvelopeNilSafe(t *testing.T) {
 	var e *Envelope
-	e.Delivery(1, 2, 100)
+	e.Delivery(1, 2, 100, 1)
 	e.BadSample(1, nil)
 }
 
@@ -286,6 +286,44 @@ func TestCountingQueueAuditFlagsDropMismatch(t *testing.T) {
 		t.Fatal("negative eviction count not flagged")
 	}
 	if v := r.Violations()[0]; v.Name != "drop_accounting" {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestViolationUIDfCarriesTrail(t *testing.T) {
+	r := New()
+	r.SetTrail(func(uid uint64) []string {
+		if uid == 42 {
+			return []string{"t=1.0s n0 tx uid=42", "t=1.1s n1 rx_ok uid=42"}
+		}
+		return nil
+	})
+	r.ViolationUIDf(1.5, "ebl", "delay_envelope", 42, "delay %v too low", 0.001)
+	r.ViolationUIDf(1.6, "ebl", "delay_envelope", 7, "delay %v too low", 0.002)
+	vs := r.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("got %d violations, want 2", len(vs))
+	}
+	if vs[0].UID != 42 || len(vs[0].Trail) != 2 {
+		t.Fatalf("violation missing uid/trail: %+v", vs[0])
+	}
+	if vs[1].UID != 7 || vs[1].Trail != nil {
+		t.Fatalf("unseen uid grew a trail: %+v", vs[1])
+	}
+	// Error() format is unchanged by the new fields.
+	want := "check: t=1.500000000s ebl/delay_envelope: delay 0.001 too low"
+	if got := vs[0].Error(); got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+}
+
+func TestSetTrailNilSafe(t *testing.T) {
+	var r *Registry
+	r.SetTrail(func(uint64) []string { return nil }) // must not panic
+	r.ViolationUIDf(1, "x", "y", 3, "msg")
+	reg := New()
+	reg.ViolationUIDf(1, "x", "y", 3, "msg") // no resolver installed
+	if v := reg.Violations()[0]; v.UID != 3 || v.Trail != nil {
 		t.Fatalf("violation = %+v", v)
 	}
 }

@@ -50,15 +50,15 @@ func NewSlotGuard(reg *Registry, slotDur sim.Time) *SlotGuard {
 // error at simulated timescales stays under a billionth of a slot.
 const slotEpsilon = 1e-6
 
-// Transmitting records that id starts a transmission at now and flags a
-// violation when another node already transmitted in the same slot.
-func (g *SlotGuard) Transmitting(now sim.Time, id packet.NodeID) {
+// Transmitting records that id starts transmitting packet uid at now and
+// flags a violation when another node already transmitted in the same slot.
+func (g *SlotGuard) Transmitting(now sim.Time, id packet.NodeID, uid uint64) {
 	if g == nil {
 		return
 	}
 	slot := int64(float64(now/g.slotDur) + slotEpsilon)
 	if g.armed && slot == g.slot && id != g.owner {
-		g.reg.Violationf(now, "mac/tdma", "slot_exclusive",
+		g.reg.ViolationUIDf(now, "mac/tdma", "slot_exclusive", uid,
 			"node %v transmits in slot %d already used by node %v", id, slot, g.owner)
 	}
 	g.armed, g.slot, g.owner = true, slot, id
@@ -125,7 +125,7 @@ func (g *RouteGuard) Forward(now sim.Time, uid uint64, ttl, numForwards int) {
 	sum := ttl + numForwards
 	if prev, ok := g.budget[uid]; ok {
 		if sum != prev {
-			g.reg.Violationf(now, "aodv", "hop_budget",
+			g.reg.ViolationUIDf(now, "aodv", "hop_budget", uid,
 				"packet uid %d forwarded with TTL %d + %d hops = budget %d, first observed with budget %d",
 				uid, ttl, numForwards, sum, prev)
 		}
@@ -163,20 +163,21 @@ func NewEnvelope(reg *Registry, rateBps float64) *Envelope {
 }
 
 // Delivery checks one delivered packet: payloadBytes were handed to the
-// application at time at, having been stamped sentAt at the sender.
-func (e *Envelope) Delivery(at, sentAt sim.Time, payloadBytes int) {
+// application at time at, having been stamped sentAt at the sender. uid is
+// the delivered packet's UID, for the violation's flight-recorder trail.
+func (e *Envelope) Delivery(at, sentAt sim.Time, payloadBytes int, uid uint64) {
 	if e == nil {
 		return
 	}
 	delay := at - sentAt
 	if delay < 0 {
-		e.reg.Violationf(at, "ebl", "delay_envelope",
+		e.reg.ViolationUIDf(at, "ebl", "delay_envelope", uid,
 			"packet delivered %v before it was sent", -delay)
 		return
 	}
 	bound := sim.Time(float64(payloadBytes) * 8 / e.rateBps)
 	if delay < bound-envelopeSlack {
-		e.reg.Violationf(at, "ebl", "delay_envelope",
+		e.reg.ViolationUIDf(at, "ebl", "delay_envelope", uid,
 			"one-way delay %v below the %v serialization bound for %d bytes at %g b/s",
 			delay, bound, payloadBytes, e.rateBps)
 	}

@@ -18,6 +18,7 @@ import (
 	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/span"
 	"vanetsim/internal/tcp"
 	"vanetsim/internal/trace"
 )
@@ -44,6 +45,9 @@ type CommsConfig struct {
 	// envelope (one-way delay at least serialization time) and flags
 	// rejected metric samples.
 	Check *check.Envelope
+	// Spans, when non-nil, records application-level consumption events
+	// for the causal tracer.
+	Spans *span.Recorder
 }
 
 // RTTBuckets are the histogram bounds (seconds) for TCP round-trip
@@ -91,6 +95,7 @@ type PlatoonComms struct {
 
 	tracer    *trace.Collector // optional
 	check     *check.Envelope  // optional
+	spans     *span.Recorder   // optional
 	onDeliver func(f *Flow, p *packet.Packet, at sim.Time)
 }
 
@@ -121,6 +126,7 @@ func NewPlatoonComms(sched *sim.Scheduler, platoon *mobility.Platoon, nets []*ne
 		throughput: metrics.NewThroughput(cfg.ThroughputBin),
 		tracer:     tracer,
 		check:      cfg.Check,
+		spans:      cfg.Spans,
 	}
 	// Registry methods are nil-safe: rttHist is nil (and SetObs a no-op
 	// store) when telemetry is off.
@@ -160,7 +166,8 @@ func (pc *PlatoonComms) observe(f *Flow, tcpCfg tcp.Config) {
 			return // duplicate delivery: measured once, like the paper's per-ID analysis
 		}
 		f.seen[p.TCP.Seq] = true
-		pc.check.Delivery(at, p.SentAt, p.Size)
+		pc.spans.Record(span.OpAppRecv, span.CauseNone, rcvNode, p)
+		pc.check.Delivery(at, p.SentAt, p.Size, p.UID)
 		f.Delays.Add(p.TCP.Seq, at-p.SentAt)
 		if err := pc.throughput.Add(at, p.Size-tcpCfg.HdrBytes); err != nil {
 			pc.check.BadSample(at, err)

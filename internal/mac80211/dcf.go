@@ -20,6 +20,7 @@ import (
 	"vanetsim/internal/phy"
 	"vanetsim/internal/queue"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/span"
 )
 
 // Config holds DCF parameters. DefaultConfig models an 802.11b radio at
@@ -165,6 +166,10 @@ type MAC struct {
 	obsRetries     *obs.Histogram
 	obsServiceTime *obs.Histogram
 	serviceStart   sim.Time
+
+	// spans records retry scheduling for the causal tracer (nil when
+	// tracing is disarmed).
+	spans *span.Recorder
 }
 
 var _ mac.MAC = (*MAC)(nil)
@@ -203,6 +208,9 @@ func (m *MAC) SetObs(backoffWait, retries, serviceTime *obs.Histogram) {
 	m.obsRetries = retries
 	m.obsServiceTime = serviceTime
 }
+
+// SetSpans wires the causal span recorder (may be nil).
+func (m *MAC) SetSpans(rec *span.Recorder) { m.spans = rec }
 
 // Poke implements mac.MAC: takes the next frame from the interface queue
 // if none is in service and begins channel access.
@@ -360,6 +368,7 @@ func (m *MAC) onCtsTimeout() {
 		return
 	}
 	m.stats.Retries++
+	m.spans.Record(span.OpRetry, span.CauseCtsTimeout, m.id, m.current)
 	m.cw = min(2*m.cw+1, m.cfg.CWMax)
 	m.backoffSlots = m.rng.Intn(m.cw + 1)
 	m.startAccess()
@@ -376,6 +385,7 @@ func (m *MAC) onAckTimeout() {
 		return
 	}
 	m.stats.Retries++
+	m.spans.Record(span.OpRetry, span.CauseAckTimeout, m.id, m.current)
 	m.cw = min(2*m.cw+1, m.cfg.CWMax)
 	m.backoffSlots = m.rng.Intn(m.cw + 1)
 	m.startAccess()

@@ -31,6 +31,7 @@ import (
 	"vanetsim/internal/phy"
 	"vanetsim/internal/queue"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/span"
 )
 
 // Config holds TDMA parameters. The zero value is not valid; use
@@ -199,6 +200,10 @@ type MAC struct {
 	// chk asserts slot exclusivity at transmit time (nil when the invariant
 	// checker is disabled; one nil check per transmission).
 	chk *check.SlotGuard
+
+	// spans records the head-of-line wait seam for the causal tracer (nil
+	// when tracing is disarmed; one nil check per Poke).
+	spans *span.Recorder
 }
 
 var _ mac.MAC = (*MAC)(nil)
@@ -238,15 +243,22 @@ func (m *MAC) SetObs(slotWait *obs.Histogram) { m.obsSlotWait = slotWait }
 // SetCheck wires the shared slot-exclusivity guard (may be nil).
 func (m *MAC) SetCheck(g *check.SlotGuard) { m.chk = g }
 
+// SetSpans wires the causal span recorder (may be nil).
+func (m *MAC) SetSpans(rec *span.Recorder) { m.spans = rec }
+
 // Poke implements mac.MAC: arms the next own-slot wakeup if the queue has
 // work and no wakeup is pending.
 func (m *MAC) Poke() {
 	if m.slotTimer.Active() {
 		return
 	}
-	if m.ifq.Peek() == nil {
+	p := m.ifq.Peek()
+	if p == nil {
 		return
 	}
+	// The slot wait starts here: the analyzer attributes Poke-to-transmit
+	// time to contention rather than queueing.
+	m.spans.Record(span.OpMacWait, span.CauseNone, m.id, p)
 	m.waitFrom = m.sched.Now()
 	start := m.schedule.NextSlotStart(m.id, m.sched.Now())
 	m.slotTimer = m.sched.AtKind(sim.KindMAC, start, m.onSlot)
@@ -265,7 +277,7 @@ func (m *MAC) onSlot() {
 	p.Mac.Dst = p.IP.NextHop
 	p.Mac.Subtype = packet.MacData
 	dur := m.cfg.PreambleTime + mac.Duration(m.cfg.HdrBytes+p.Size, m.cfg.DataRateBps)
-	m.chk.Transmitting(m.sched.Now(), m.id)
+	m.chk.Transmitting(m.sched.Now(), m.id, p.UID)
 	if err := m.radio.Transmit(p, dur); err != nil {
 		// The radio refused the frame (a MAC/radio state bug): the frame is
 		// lost, counted, and reported upward as a failed transmission so the

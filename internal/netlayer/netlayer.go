@@ -9,6 +9,7 @@ import (
 	"vanetsim/internal/mac"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/queue"
+	"vanetsim/internal/span"
 )
 
 // DefaultTTL is the initial IP TTL for locally originated packets (ns-2
@@ -52,6 +53,7 @@ type Net struct {
 	mac   mac.MAC
 	route Routing
 	ports map[int]PortHandler
+	spans *span.Recorder
 
 	stats Stats
 }
@@ -78,6 +80,10 @@ func (n *Net) Attach(ifq queue.Queue, m mac.MAC) {
 // SetRouting installs the routing agent.
 func (n *Net) SetRouting(r Routing) { n.route = r }
 
+// SetSpans wires the causal span recorder (may be nil). The recorder
+// carries the run's clock, so this layer needs no scheduler of its own.
+func (n *Net) SetSpans(rec *span.Recorder) { n.spans = rec }
+
 // BindPort registers a transport handler on a local port. Binding an
 // already-bound port panics: silent replacement would orphan an agent.
 func (n *Net) BindPort(port int, h PortHandler) {
@@ -95,6 +101,7 @@ func (n *Net) SendFrom(p *packet.Packet) {
 		p.IP.TTL = DefaultTTL
 	}
 	n.stats.Sent++
+	n.spans.Record(span.OpEmit, span.CauseNone, n.id, p)
 	n.route.HandleOutgoing(p)
 }
 
@@ -118,9 +125,11 @@ func (n *Net) DeliverLocally(p *packet.Packet) {
 	h, ok := n.ports[p.IP.DstPort]
 	if !ok {
 		n.stats.NoPort++
+		n.spans.Record(span.OpNetDrop, span.CauseNoPort, n.id, p)
 		return
 	}
 	n.stats.Delivered++
+	n.spans.Record(span.OpDeliver, span.CauseNone, n.id, p)
 	h.RecvFromNet(p)
 }
 
@@ -128,4 +137,11 @@ func (n *Net) DeliverLocally(p *packet.Packet) {
 func (n *Net) RecvFromMac(p *packet.Packet) { n.route.HandleIncoming(p) }
 
 // MacTxDone implements mac.Upcall.
-func (n *Net) MacTxDone(p *packet.Packet, ok bool) { n.route.MacTxDone(p, ok) }
+func (n *Net) MacTxDone(p *packet.Packet, ok bool) {
+	if ok {
+		n.spans.Record(span.OpMacDone, span.CauseNone, n.id, p)
+	} else {
+		n.spans.Record(span.OpMacDone, span.CauseLinkFail, n.id, p)
+	}
+	n.route.MacTxDone(p, ok)
+}

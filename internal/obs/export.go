@@ -184,6 +184,13 @@ func promName(name string) string {
 	return strings.NewReplacer(".", "_", "-", "_", "/", "_").Replace(name)
 }
 
+// promHelp escapes help text for a # HELP line: the exposition format
+// requires backslash and line-feed escaping (a raw newline would split the
+// comment into an invalid line).
+func promHelp(help string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(help)
+}
+
 // Prometheus writes the snapshot in the Prometheus text exposition format:
 // counters and gauges directly, histograms with cumulative _bucket lines,
 // series as their per-bin sums on a "bin" label.
@@ -195,14 +202,14 @@ func (s *Snapshot) Prometheus(w io.Writer) error {
 	for _, c := range s.Counters {
 		n := promName(c.Name)
 		if c.Help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", n, c.Help)
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, promHelp(c.Help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
 	}
 	for _, g := range s.Gauges {
 		n := promName(g.Name)
 		if g.Help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", n, g.Help)
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, promHelp(g.Help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", n, n, g.Value)
 		fmt.Fprintf(&b, "%s_high_water %g\n", n, g.HighWater)
@@ -210,7 +217,7 @@ func (s *Snapshot) Prometheus(w io.Writer) error {
 	for _, h := range s.Histograms {
 		n := promName(h.Name)
 		if h.Help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", n, h.Help)
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, promHelp(h.Help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
 		var cum uint64
@@ -227,7 +234,7 @@ func (s *Snapshot) Prometheus(w io.Writer) error {
 	for _, sr := range s.Series {
 		n := promName(sr.Name)
 		if sr.Help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", n, sr.Help)
+			fmt.Fprintf(&b, "# HELP %s %s\n", n, promHelp(sr.Help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s gauge\n", n)
 		for i, v := range sr.Sums {

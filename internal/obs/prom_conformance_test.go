@@ -1,0 +1,353 @@
+// Strict conformance test for the Prometheus text exposition exporter:
+// every emitted line is run through a spec-level parser that enforces
+// metric-name validity, label-name validity and label-value escaping,
+// HELP escaping, one TYPE per family declared before its first sample,
+// counter non-negativity, and full histogram shape (a "+Inf" bucket,
+// cumulative monotone bucket counts, and _count consistent with the
+// terminal bucket). A formatting regression that scrape-time parsers
+// would reject fails here first.
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var (
+	promMetricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	promTypes        = map[string]bool{
+		"counter": true, "gauge": true, "histogram": true,
+		"summary": true, "untyped": true,
+	}
+)
+
+// promSample is one parsed exposition sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// promFamily accumulates one metric family's declared type and samples.
+// For histograms the family owns the _bucket/_sum/_count suffixed samples.
+type promFamily struct {
+	typ     string
+	help    bool
+	samples []promSample
+}
+
+// parseExposition is the strict parser. It fails the test on any line a
+// spec-compliant scraper would reject.
+func parseExposition(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	if text != "" && !strings.HasSuffix(text, "\n") {
+		t.Fatalf("exposition does not end with a newline")
+	}
+	fams := make(map[string]*promFamily)
+	family := func(name string) *promFamily {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{}
+			fams[name] = f
+		}
+		return f
+	}
+	// baseFamily strips histogram sample suffixes so _bucket/_sum/_count
+	// lines attach to the declared histogram family.
+	baseFamily := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if f, ok := fams[base]; ok && f.typ == "histogram" {
+					return base
+				}
+			}
+		}
+		return name
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		lineNo := i + 1
+		switch {
+		case line == "":
+			t.Fatalf("line %d: empty line", lineNo)
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !promMetricNameRE.MatchString(name) {
+				t.Fatalf("line %d: malformed HELP %q", lineNo, line)
+			}
+			f := family(name)
+			if f.help {
+				t.Fatalf("line %d: second HELP for %s", lineNo, name)
+			}
+			if len(f.samples) > 0 {
+				t.Fatalf("line %d: HELP for %s after its samples", lineNo, name)
+			}
+			// Escaping check: any backslash must start \\ or \n.
+			for j := 0; j < len(help); j++ {
+				if help[j] != '\\' {
+					continue
+				}
+				if j+1 >= len(help) || (help[j+1] != '\\' && help[j+1] != 'n') {
+					t.Fatalf("line %d: bad HELP escape in %q", lineNo, help)
+				}
+				j++
+			}
+			f.help = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !promMetricNameRE.MatchString(fields[0]) || !promTypes[fields[1]] {
+				t.Fatalf("line %d: malformed TYPE %q", lineNo, line)
+			}
+			f := family(fields[0])
+			if f.typ != "" {
+				t.Fatalf("line %d: second TYPE for %s", lineNo, fields[0])
+			}
+			if len(f.samples) > 0 {
+				t.Fatalf("line %d: TYPE for %s after its samples", lineNo, fields[0])
+			}
+			f.typ = fields[1]
+		case strings.HasPrefix(line, "#"):
+			// Free-form comment: legal, ignored.
+		default:
+			s := parseSampleLine(t, lineNo, line)
+			family(baseFamily(s.name)).samples = append(family(baseFamily(s.name)).samples, s)
+		}
+	}
+	return fams
+}
+
+// parseSampleLine parses `name{label="value",...} value` with strict
+// name/label/escape validation.
+func parseSampleLine(t *testing.T, lineNo int, line string) promSample {
+	t.Helper()
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end <= 0 {
+		t.Fatalf("line %d: malformed sample %q", lineNo, line)
+	}
+	s := promSample{name: rest[:end], labels: map[string]string{}}
+	if !promMetricNameRE.MatchString(s.name) {
+		t.Fatalf("line %d: invalid metric name %q", lineNo, s.name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for rest != "" && rest[0] != '}' {
+			eq := strings.IndexByte(rest, '=')
+			if eq <= 0 {
+				t.Fatalf("line %d: malformed label in %q", lineNo, line)
+			}
+			lname := rest[:eq]
+			if !promLabelNameRE.MatchString(lname) {
+				t.Fatalf("line %d: invalid label name %q", lineNo, lname)
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				t.Fatalf("line %d: unquoted label value in %q", lineNo, line)
+			}
+			rest = rest[1:]
+			var val strings.Builder
+			closed := false
+			for j := 0; j < len(rest); j++ {
+				c := rest[j]
+				if c == '\\' {
+					if j+1 >= len(rest) {
+						t.Fatalf("line %d: dangling escape in %q", lineNo, line)
+					}
+					switch rest[j+1] {
+					case '\\', '"', 'n':
+					default:
+						t.Fatalf("line %d: bad label escape \\%c in %q", lineNo, rest[j+1], line)
+					}
+					val.WriteByte(rest[j+1])
+					j++
+					continue
+				}
+				if c == '"' {
+					rest = rest[j+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				t.Fatalf("line %d: unterminated label value in %q", lineNo, line)
+			}
+			s.labels[lname] = val.String()
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+		if rest == "" || rest[0] != '}' {
+			t.Fatalf("line %d: unterminated label set in %q", lineNo, line)
+		}
+		rest = rest[1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		t.Fatalf("line %d: want value [timestamp] after name, got %q", lineNo, rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		t.Fatalf("line %d: bad sample value %q: %v", lineNo, fields[0], err)
+	}
+	s.value = v
+	return s
+}
+
+// conformanceRegistry builds a registry exercising every instrument kind
+// plus the naming and help-text edge cases the exporter must escape.
+func conformanceRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("phy/frames-tx.total", "frames handed to the channel").Add(12345)
+	r.Counter("ifq/drops_total", "").Inc() // no HELP line
+	g := r.Gauge("ifq/depth", "queue depth with\nan embedded newline and a back\\slash")
+	g.Set(7)
+	g.Set(3)
+	h := r.Histogram("ebl/delay_s", "one-way delay", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0004, 0.002, 0.02, 0.05, 0.2, 5} {
+		h.Observe(v)
+	}
+	r.Histogram("mac/empty_hist", "never observed", []float64{1, 2}) // all-zero buckets
+	sr := r.Series("tput/platoon1_bps", "per-bin throughput", 0.5)
+	sr.Observe(0.1, 1000)
+	sr.Observe(0.6, 2000)
+	sr.Observe(1.4, 1500)
+	return r
+}
+
+func TestPrometheusConformance(t *testing.T) {
+	var sb strings.Builder
+	if err := conformanceRegistry().Snapshot().Prometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseExposition(t, sb.String())
+
+	// Counters: declared, non-negative, finite.
+	for _, name := range []string{"phy_frames_tx_total", "ifq_drops_total"} {
+		f := fams[name]
+		if f == nil || f.typ != "counter" {
+			t.Fatalf("counter family %s missing or mistyped: %+v", name, f)
+		}
+		if len(f.samples) != 1 {
+			t.Fatalf("%s: want 1 sample, got %d", name, len(f.samples))
+		}
+		if v := f.samples[0].value; v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s: invalid counter value %g", name, v)
+		}
+	}
+	if fams["phy_frames_tx_total"].samples[0].value != 12345 {
+		t.Fatalf("counter value mangled: %g", fams["phy_frames_tx_total"].samples[0].value)
+	}
+
+	// Gauge: typed family plus an untyped _high_water companion; the
+	// newline/backslash help text must have survived as ONE valid line
+	// (parseExposition already rejected bad escapes).
+	if f := fams["ifq_depth"]; f == nil || f.typ != "gauge" || !f.help || f.samples[0].value != 3 {
+		t.Fatalf("gauge family wrong: %+v", f)
+	}
+	if f := fams["ifq_depth_high_water"]; f == nil || len(f.samples) != 1 || f.samples[0].value != 7 {
+		t.Fatalf("high-water companion wrong: %+v", f)
+	}
+
+	// Histograms: +Inf bucket present, cumulative monotone, _count matches
+	// the terminal bucket, _sum present — including the never-observed one.
+	for _, name := range []string{"ebl_delay_s", "mac_empty_hist"} {
+		checkHistogram(t, fams, name)
+	}
+	if got := histSample(t, fams["ebl_delay_s"], "ebl_delay_s_count", nil); got != 6 {
+		t.Fatalf("ebl_delay_s_count = %g, want 6", got)
+	}
+
+	// Series: gauge-typed with a bin label per sample.
+	f := fams["tput_platoon1_bps"]
+	if f == nil || f.typ != "gauge" {
+		t.Fatalf("series family wrong: %+v", f)
+	}
+	for _, s := range f.samples {
+		if _, ok := s.labels["bin"]; !ok {
+			t.Fatalf("series sample missing bin label: %+v", s)
+		}
+	}
+}
+
+// checkHistogram enforces the histogram contract on family name.
+func checkHistogram(t *testing.T, fams map[string]*promFamily, name string) {
+	t.Helper()
+	f := fams[name]
+	if f == nil || f.typ != "histogram" {
+		t.Fatalf("histogram family %s missing or mistyped: %+v", name, f)
+	}
+	var buckets []promSample
+	var count, sum *promSample
+	for i := range f.samples {
+		s := f.samples[i]
+		switch s.name {
+		case name + "_bucket":
+			buckets = append(buckets, s)
+		case name + "_count":
+			count = &f.samples[i]
+		case name + "_sum":
+			sum = &f.samples[i]
+		default:
+			t.Fatalf("%s: unexpected sample %q in histogram family", name, s.name)
+		}
+	}
+	if len(buckets) == 0 || count == nil || sum == nil {
+		t.Fatalf("%s: incomplete histogram (buckets=%d count=%v sum=%v)",
+			name, len(buckets), count != nil, sum != nil)
+	}
+	last := buckets[len(buckets)-1]
+	if last.labels["le"] != "+Inf" {
+		t.Fatalf("%s: terminal bucket le=%q, want +Inf", name, last.labels["le"])
+	}
+	prevLe := math.Inf(-1)
+	prevCum := -1.0
+	for _, b := range buckets {
+		le := math.Inf(1)
+		if b.labels["le"] != "+Inf" {
+			v, err := strconv.ParseFloat(b.labels["le"], 64)
+			if err != nil {
+				t.Fatalf("%s: unparseable le %q", name, b.labels["le"])
+			}
+			le = v
+		}
+		if le <= prevLe {
+			t.Fatalf("%s: bucket bounds not increasing (%g after %g)", name, le, prevLe)
+		}
+		if b.value < prevCum {
+			t.Fatalf("%s: cumulative counts decrease (%g after %g)", name, b.value, prevCum)
+		}
+		prevLe, prevCum = le, b.value
+	}
+	if last.value != count.value {
+		t.Fatalf("%s: +Inf bucket %g != _count %g", name, last.value, count.value)
+	}
+}
+
+// histSample fetches one sample by name (and optional labels) from a family.
+func histSample(t *testing.T, f *promFamily, name string, labels map[string]string) float64 {
+	t.Helper()
+	for _, s := range f.samples {
+		if s.name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.value
+		}
+	}
+	t.Fatalf("sample %s %v not found", name, labels)
+	return 0
+}

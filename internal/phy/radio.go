@@ -6,6 +6,7 @@ import (
 
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/span"
 )
 
 // Transmit error sentinels. Both indicate a MAC-layer programming error;
@@ -79,8 +80,8 @@ type Stats struct {
 	// installed or the radio is taken down (see SetDown); no silent path
 	// exists — every frame a fault destroys is counted in exactly one of
 	// them, mirroring the RxAbortedByTx accounting.
-	RxImpaired        int // intact receptions destroyed by injected impairment
-	RxDroppedOutage   int // arrivals (or in-progress receptions) lost to a radio outage
+	RxImpaired         int // intact receptions destroyed by injected impairment
+	RxDroppedOutage    int // arrivals (or in-progress receptions) lost to a radio outage
 	TxSuppressedOutage int // transmissions attempted while the radio was down
 }
 
@@ -115,6 +116,7 @@ type Radio struct {
 	idleTimer sim.Timer
 	down      bool
 	imp       Impairment
+	spans     *span.Recorder
 
 	// interfW is the aggregate power of all arrivals not locked onto,
 	// maintained only in SINR mode.
@@ -183,6 +185,10 @@ func (r *Radio) Freq() int {
 // reception. Pass nil to remove it.
 func (r *Radio) SetImpairment(imp Impairment) { r.imp = imp }
 
+// SetSpans installs the causal span recorder. A nil recorder (the default)
+// is the disarmed state and costs each PHY event one nil comparison.
+func (r *Radio) SetSpans(rec *span.Recorder) { r.spans = rec }
+
 // SetDown takes the radio off the air (true) or recovers it (false). A down
 // radio transmits no energy and hears no arrivals; a reception in progress
 // when it goes down is destroyed and counted in RxDroppedOutage. Recovery
@@ -201,6 +207,7 @@ func (r *Radio) SetDown(down bool) {
 		// The locked frame is lost; its end-of-frame event releases the
 		// reception struct when it finds r.rx changed.
 		r.stats.RxDroppedOutage++
+		r.spans.Record(span.OpRxLost, span.CauseOutage, r.id, r.rx.p)
 		r.rx = nil
 	}
 	if r.state == Receiving {
@@ -269,6 +276,7 @@ func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) error {
 		// no energy leaves the antenna — the frame is silently lost on air,
 		// and counted here rather than vanishing.
 		r.stats.TxSuppressedOutage++
+		r.spans.RecordDur(span.OpTx, span.CauseOutage, r.id, p, duration)
 		r.state = Transmitting
 		r.sched.ScheduleKind(sim.KindPHY, duration, r.txDoneFn)
 		return nil
@@ -277,10 +285,12 @@ func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) error {
 		// Half-duplex: the in-progress reception is lost. The reception's
 		// end-of-frame event releases it when it finds r.rx changed.
 		r.stats.RxAbortedByTx++
+		r.spans.Record(span.OpRxLost, span.CauseAbortedByTx, r.id, r.rx.p)
 		r.rx = nil
 	}
 	r.state = Transmitting
 	r.stats.TxFrames++
+	r.spans.RecordDur(span.OpTx, span.CauseNone, r.id, p, duration)
 	r.extendBusy(r.sched.Now() + duration)
 	r.ch.broadcast(r, p, duration)
 	r.sched.ScheduleKind(sim.KindPHY, duration, r.txDoneFn)
@@ -295,6 +305,7 @@ func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time)
 		// A dead radio hears nothing: no carrier sense, no interference
 		// bookkeeping — but the loss is counted, never silent.
 		r.stats.RxDroppedOutage++
+		r.spans.Record(span.OpRxLost, span.CauseOutage, r.id, p)
 		return
 	}
 	now := r.sched.Now()
@@ -314,11 +325,13 @@ func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time)
 	case r.state == Transmitting:
 		// Blinded by our own transmission.
 		r.stats.RxWhileTx++
+		r.spans.Record(span.OpRxLost, span.CauseWhileTx, r.id, p)
 	case power < r.Params.RxThreshW:
 		// Sensed but undecodable: pure noise. If we were locked onto a
 		// frame, noise this weak does not corrupt it only when capture
 		// holds.
 		r.stats.RxBelowThresh++
+		r.spans.Record(span.OpRxLost, span.CauseBelowThresh, r.id, p)
 		if r.rx != nil && r.rx.power < power*r.Params.CaptureRatio {
 			r.rx.corrupted = true
 		}
@@ -333,10 +346,12 @@ func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time)
 		if r.rx.power >= power*r.Params.CaptureRatio {
 			// Capture: the locked frame is strong enough to survive.
 			r.stats.RxCaptured++
+			r.spans.Record(span.OpRxLost, span.CauseCaptured, r.id, p)
 		} else {
 			// Collision: the locked frame is corrupted, and the new frame
 			// cannot be acquired mid-overlap either.
 			r.stats.RxOverlapLost++
+			r.spans.Record(span.OpRxLost, span.CauseOverlap, r.id, p)
 			r.rx.corrupted = true
 		}
 	}
@@ -357,12 +372,15 @@ func (r *Radio) arriveSINR(p *packet.Packet, power float64, duration sim.Time, e
 	switch {
 	case r.state == Transmitting:
 		r.stats.RxWhileTx++
+		r.spans.Record(span.OpRxLost, span.CauseWhileTx, r.id, p)
 	case power < r.Params.RxThreshW:
 		r.stats.RxBelowThresh++
+		r.spans.Record(span.OpRxLost, span.CauseBelowThresh, r.id, p)
 	default:
 		// Decodable power, but the receiver is locked onto another frame:
 		// the arrival folds into interference and is lost.
 		r.stats.RxOverlapLost++
+		r.spans.Record(span.OpRxLost, span.CauseOverlap, r.id, p)
 	}
 	r.addInterference(power, duration)
 }
@@ -405,10 +423,13 @@ func (r *Radio) finishReception(rec *reception) {
 	switch {
 	case impaired:
 		r.stats.RxImpaired++
+		r.spans.Record(span.OpRxLost, span.CauseImpaired, r.id, p)
 	case corrupted:
 		r.stats.RxCollided++
+		r.spans.Record(span.OpRxLost, span.CauseCollision, r.id, p)
 	default:
 		r.stats.RxOK++
+		r.spans.Record(span.OpRxOK, span.CauseNone, r.id, p)
 	}
 	r.releaseReception(rec)
 	if r.mac != nil {

@@ -11,6 +11,7 @@ import (
 	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/span"
 )
 
 // HighwayConfig describes the extension scenario the paper's conclusion
@@ -36,6 +37,7 @@ type HighwayConfig struct {
 	Seed        uint64
 	Telemetry   bool // collect a cross-layer metrics snapshot
 	Check       bool // arm the runtime invariant checker (observation-only)
+	Spans       bool // arm causal span tracing (observation-only)
 }
 
 // DefaultHighway returns a 50-mph, 25-m-spacing emergency-braking run
@@ -88,6 +90,8 @@ type HighwayResult struct {
 	// Violations are the invariant violations of a checked run (nil unless
 	// checking was armed; empty means clean).
 	Violations []check.Violation
+	// Spans is the causal per-packet event stream (nil unless Config.Spans).
+	Spans []span.Event
 	// WallSeconds is the host wall-clock cost of the run (host-dependent,
 	// never feeds simulation output).
 	WallSeconds float64
@@ -109,6 +113,9 @@ func RunHighway(cfg HighwayConfig) *HighwayResult {
 	if cfg.Check || check.ForceAll {
 		stack.Check = check.New()
 	}
+	if cfg.Spans {
+		stack.Spans = span.NewRecorder()
+	}
 	w := NewWorld(stack, cfg.Seed)
 	s := w.Sched
 	wallStart := time.Now()
@@ -126,6 +133,7 @@ func RunHighway(cfg HighwayConfig) *HighwayResult {
 	c.PacketSize = cfg.PacketSize
 	c.RateBps = cfg.RateBps
 	c.Obs = stack.Obs
+	c.Spans = stack.Spans
 	if stack.Check != nil {
 		c.Check = check.NewEnvelope(stack.Check, envelopeRate(stack))
 	}
@@ -177,6 +185,7 @@ func RunHighway(cfg HighwayConfig) *HighwayResult {
 	}
 	res.Telemetry = w.HarvestTelemetry(comms)
 	res.Violations = w.AuditInvariants(comms)
+	res.Spans = stack.Spans.Events()
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	return res
 }

@@ -14,6 +14,7 @@ import (
 	"vanetsim/internal/packet"
 	"vanetsim/internal/phy"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/span"
 )
 
 // JammingConfig sets up the denial-of-service experiment the paper's
@@ -36,6 +37,7 @@ type JammingConfig struct {
 	Seed        uint64
 	Telemetry   bool // collect a cross-layer metrics snapshot
 	Check       bool // arm the runtime invariant checker (observation-only)
+	Spans       bool // arm causal span tracing (observation-only)
 }
 
 // DefaultJamming returns a 3-vehicle, 60-second attack run: 1,000-byte
@@ -81,6 +83,8 @@ type JammingResult struct {
 	// Violations are the invariant violations of a checked run (nil unless
 	// checking was armed; empty means clean).
 	Violations []check.Violation
+	// Spans is the causal per-packet event stream (nil unless Config.Spans).
+	Spans []span.Event
 	// WallSeconds is the host wall-clock cost of the run (host-dependent,
 	// never feeds simulation output).
 	WallSeconds float64
@@ -101,6 +105,9 @@ func RunJamming(cfg JammingConfig) (*JammingResult, error) {
 	}
 	if cfg.Check || check.ForceAll {
 		stack.Check = check.New()
+	}
+	if cfg.Spans {
+		stack.Spans = span.NewRecorder()
 	}
 	w := NewWorld(stack, cfg.Seed)
 	s := w.Sched
@@ -128,6 +135,7 @@ func RunJamming(cfg JammingConfig) (*JammingResult, error) {
 			delays: &metrics.DelaySeries{},
 			rcv:    f.ID(),
 		}
+		fe.sink.SetSpans(stack.Spans)
 		seq := 0
 		fe.sink.OnRecv(func(pkt *packet.Packet, at sim.Time) {
 			seq++
@@ -174,6 +182,7 @@ func RunJamming(cfg JammingConfig) (*JammingResult, error) {
 	}
 	res.Telemetry = w.HarvestTelemetry()
 	res.Violations = w.AuditInvariants()
+	res.Spans = stack.Spans.Events()
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	return res, nil
 }

@@ -15,6 +15,7 @@ import (
 	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/span"
 	"vanetsim/internal/trace"
 )
 
@@ -55,6 +56,11 @@ type TrialConfig struct {
 	// the same seed yields identical outputs with it on or off. The
 	// `checkall` build tag forces it on regardless of this field.
 	Check bool
+	// Spans arms causal per-packet span tracing: every datagram's lifecycle
+	// (emit, queue, MAC wait, airtime, loss or delivery) lands on
+	// TrialResult.Spans in scheduler order. Observation-only: the same seed
+	// yields identical traces and figures with it on or off.
+	Spans bool
 	// Faults is the impairment recipe (packet/bit error models, bursty
 	// loss, shadowing, scheduled outages). The zero value injects nothing:
 	// an unfaulted run is byte-identical with or without this field.
@@ -139,6 +145,9 @@ type TrialResult struct {
 	// Violations are the invariant violations recorded during a checked run
 	// (nil unless checking was armed; empty means the run was clean).
 	Violations []check.Violation
+	// Spans is the causal per-packet event stream in scheduler order (nil
+	// unless Config.Spans).
+	Spans []span.Event
 	// WallSeconds is the host wall-clock cost of the run. It is the only
 	// host-dependent field and feeds no simulation output.
 	WallSeconds float64
@@ -169,6 +178,9 @@ func RunTrial(cfg TrialConfig) *TrialResult {
 	}
 	if cfg.Check || check.ForceAll {
 		stack.Check = check.New()
+	}
+	if cfg.Spans {
+		stack.Spans = span.NewRecorder()
 	}
 	w := NewWorld(stack, cfg.Seed)
 	s := w.Sched
@@ -210,6 +222,7 @@ func RunTrial(cfg TrialConfig) *TrialResult {
 		c.BasePort = basePort
 		c.ThroughputBin = cfg.ThroughputBn
 		c.Obs = stack.Obs
+		c.Spans = stack.Spans
 		if stack.Check != nil {
 			c.Check = check.NewEnvelope(stack.Check, envelopeRate(stack))
 		}
@@ -251,6 +264,7 @@ func RunTrial(cfg TrialConfig) *TrialResult {
 	res.Anim = rec
 	res.Telemetry = w.HarvestTelemetry(comms1, comms2)
 	res.Violations = w.AuditInvariants(comms1, comms2)
+	res.Spans = stack.Spans.Events()
 	res.WallSeconds = time.Since(wallStart).Seconds()
 	return res
 }

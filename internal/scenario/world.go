@@ -19,6 +19,7 @@ import (
 	"vanetsim/internal/phy"
 	"vanetsim/internal/queue"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/span"
 )
 
 // MACType selects the medium-access protocol — the paper's second variable
@@ -76,6 +77,10 @@ type StackConfig struct {
 	// monotonicity into this registry. Checking is observation-only — runs
 	// are byte-identical with it on or off.
 	Check *check.Registry
+	// Spans, when non-nil, arms the causal per-packet tracer: every layer
+	// seam records lifecycle events into this recorder. Tracing is
+	// observation-only and, like Check, byte-identical on or off.
+	Spans *span.Recorder
 }
 
 // DefaultStackConfig returns the paper's fixed parameters: drop-tail
@@ -120,6 +125,7 @@ type World struct {
 	Obs *obs.Registry
 
 	cfg      StackConfig
+	spans    *span.Recorder    // nil when span tracing is disarmed
 	schedule *mactdma.Schedule // TDMA worlds only
 	live     liveInstruments
 	fault    *fault.Injector // nil unless a per-link loss model is enabled
@@ -161,9 +167,13 @@ func NewWorld(cfg StackConfig, seed uint64) *World {
 		RNG:     rng,
 		Obs:     cfg.Obs,
 		cfg:     cfg,
+		spans:   cfg.Spans,
 		live:    newLiveInstruments(cfg.Obs, cfg.MAC),
 		shadow:  shadow,
 	}
+	// The recorder carries the run's clock so clockless layers (netlayer,
+	// queue taps) can stamp events; Bind is nil-safe.
+	w.spans.Bind(s)
 	if cfg.Faults.LinkEnabled() {
 		w.fault = fault.NewInjector(cfg.Faults, rng.Fork("fault/link"))
 	}
@@ -177,6 +187,10 @@ func NewWorld(cfg StackConfig, seed uint64) *World {
 		if cfg.MAC == MACTDMA {
 			w.slotGuard = check.NewSlotGuard(w.check, cfg.TDMA.SlotDuration())
 		}
+		// With both subsystems armed, violations carry the offending
+		// packet's flight-recorder trail (TrailFn is nil when spans are off,
+		// which leaves the registry's zero-cost default in place).
+		w.check.SetTrail(w.spans.TrailFn())
 	}
 	return w
 }
@@ -211,13 +225,16 @@ func (w *World) AddNode(id packet.NodeID, pos phy.PositionFn) *Node {
 	}
 	w.scheduleOutages(n.Radio)
 	n.Net = netlayer.New(id)
+	// IfqDropFn is nil when spans are disarmed, preserving the queues'
+	// silent-discard fast path.
+	onDrop := w.spans.IfqDropFn(id)
 	switch w.cfg.Queue {
 	case QueuePri:
-		n.Ifq = queue.NewPriQueue(w.cfg.QueueCap, nil)
+		n.Ifq = queue.NewPriQueue(w.cfg.QueueCap, onDrop)
 	case QueueRED:
-		n.Ifq = queue.NewRED(w.cfg.QueueCap, queue.DefaultREDConfig(), w.RNG.Fork(fmt.Sprintf("red-%d", id)), nil)
+		n.Ifq = queue.NewRED(w.cfg.QueueCap, queue.DefaultREDConfig(), w.RNG.Fork(fmt.Sprintf("red-%d", id)), onDrop)
 	default:
-		n.Ifq = queue.NewDropTail(w.cfg.QueueCap, nil)
+		n.Ifq = queue.NewDropTail(w.cfg.QueueCap, onDrop)
 	}
 	if w.check != nil {
 		// Transparent conservation counter under the telemetry decorator so
@@ -231,23 +248,32 @@ func (w *World) AddNode(id packet.NodeID, pos phy.PositionFn) *Node {
 		// telemetry is off.
 		n.Ifq = queue.Instrument(n.Ifq, w.Sched, w.live.ifqOccupancy, w.live.ifqEnqueued, w.live.ifqOccSeries)
 	}
+	// Span tap outermost, so enq/deq events reflect exactly what the
+	// network layer and MAC exchange. TapQueue is the identity when
+	// tracing is disarmed.
+	n.Ifq = span.TapQueue(n.Ifq, w.spans, id)
+	n.Radio.SetSpans(w.spans)
 	switch w.cfg.MAC {
 	case MACTDMA:
 		n.TDMA = mactdma.New(id, w.Sched, n.Radio, n.Ifq, n.Net, w.schedule, w.cfg.TDMA)
 		n.TDMA.SetObs(w.live.tdmaSlotWait)
 		n.TDMA.SetCheck(w.slotGuard)
+		n.TDMA.SetSpans(w.spans)
 		n.MAC = n.TDMA
 	case MAC80211:
 		rng := w.RNG.Fork(fmt.Sprintf("mac80211-%d", id))
 		n.DCF = mac80211.New(id, w.Sched, n.Radio, n.Ifq, n.Net, w.PF, rng, w.cfg.DCF)
 		n.DCF.SetObs(w.live.dcfBackoffWait, w.live.dcfRetries, w.live.dcfService)
+		n.DCF.SetSpans(w.spans)
 		n.MAC = n.DCF
 	default:
 		panic(fmt.Sprintf("scenario: unknown MAC type %v", w.cfg.MAC))
 	}
 	n.Net.Attach(n.Ifq, n.MAC)
+	n.Net.SetSpans(w.spans)
 	n.AODV = aodv.New(w.Sched, n.Net, w.PF, w.RNG.Fork(fmt.Sprintf("aodv-%d", id)), w.cfg.AODV)
 	n.AODV.SetCheck(w.routeGuard)
+	n.AODV.SetSpans(w.spans)
 	w.Nodes = append(w.Nodes, n)
 	return n
 }

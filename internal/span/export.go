@@ -1,0 +1,186 @@
+// Exporters: NDJSON (one event per line, fixed field order, fixed-digit
+// times — byte-identical across runs and -j parallelism) and Chrome
+// trace-event JSON loadable in about:tracing or Perfetto (queue residency
+// and airtime as complete events on per-node tracks).
+package span
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// AppendNDJSON appends the event's NDJSON line (no trailing newline) to buf
+// and returns the extended slice. Times use fixed 9-digit (nanosecond)
+// precision so output is byte-stable; zero durations and CauseNone are
+// omitted. Callers reusing the returned buffer encode with zero
+// allocations.
+func (e Event) AppendNDJSON(buf []byte) []byte {
+	buf = append(buf, `{"at":`...)
+	buf = strconv.AppendFloat(buf, float64(e.At), 'f', 9, 64)
+	buf = append(buf, `,"node":`...)
+	buf = strconv.AppendInt(buf, int64(int32(e.Node)), 10)
+	buf = append(buf, `,"op":"`...)
+	buf = append(buf, e.Op.String()...)
+	buf = append(buf, '"')
+	if e.Cause != CauseNone {
+		buf = append(buf, `,"cause":"`...)
+		buf = append(buf, e.Cause.String()...)
+		buf = append(buf, '"')
+	}
+	buf = append(buf, `,"uid":`...)
+	buf = strconv.AppendUint(buf, e.UID, 10)
+	buf = append(buf, `,"type":"`...)
+	buf = append(buf, e.Type.String()...)
+	buf = append(buf, `","size":`...)
+	buf = strconv.AppendInt(buf, int64(e.Size), 10)
+	buf = append(buf, `,"seq":`...)
+	buf = strconv.AppendInt(buf, int64(e.Seq), 10)
+	if e.Dur > 0 {
+		buf = append(buf, `,"dur":`...)
+		buf = strconv.AppendFloat(buf, float64(e.Dur), 'f', 9, 64)
+	}
+	buf = append(buf, '}')
+	return buf
+}
+
+// WriteNDJSON writes events to w one JSON object per line, in recorded
+// (scheduler) order.
+func WriteNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, e := range events {
+		buf = e.AppendNDJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("span: ndjson: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("span: ndjson: %w", err)
+	}
+	return nil
+}
+
+// category buckets ops for the trace viewer's filter bar.
+func category(op Op) string {
+	switch op {
+	case OpEmit, OpDeliver, OpAppRecv:
+		return "app"
+	case OpEnq, OpDeq, OpIfqDrop:
+		return "ifq"
+	case OpMacWait, OpRetry, OpMacDone:
+		return "mac"
+	case OpTx, OpRxOK, OpRxLost:
+		return "phy"
+	default:
+		return "net"
+	}
+}
+
+// appendMicros appends a simulated time as microseconds with nanosecond
+// (3-digit) precision, the unit Chrome trace events use.
+func appendMicros(buf []byte, t sim.Time) []byte {
+	return strconv.AppendFloat(buf, float64(t)*1e6, 'f', 3, 64)
+}
+
+// appendChromeEvent appends one trace-event object. ph is "X" (complete,
+// with dur) or "i" (instant); tid is the node so each vehicle gets its own
+// track.
+func appendChromeEvent(buf []byte, name, cat string, ph byte, ts, dur sim.Time, node packet.NodeID, e Event) []byte {
+	buf = append(buf, `{"name":"`...)
+	buf = append(buf, name...)
+	buf = append(buf, `","cat":"`...)
+	buf = append(buf, cat...)
+	buf = append(buf, `","ph":"`...)
+	buf = append(buf, ph)
+	buf = append(buf, `","ts":`...)
+	buf = appendMicros(buf, ts)
+	if ph == 'X' {
+		buf = append(buf, `,"dur":`...)
+		buf = appendMicros(buf, dur)
+	}
+	buf = append(buf, `,"pid":1,"tid":`...)
+	buf = strconv.AppendInt(buf, int64(int32(node)), 10)
+	if ph == 'i' {
+		buf = append(buf, `,"s":"t"`...)
+	}
+	buf = append(buf, `,"args":{"uid":`...)
+	buf = strconv.AppendUint(buf, e.UID, 10)
+	buf = append(buf, `,"type":"`...)
+	buf = append(buf, e.Type.String()...)
+	buf = append(buf, `","size":`...)
+	buf = strconv.AppendInt(buf, int64(e.Size), 10)
+	buf = append(buf, `}}`...)
+	return buf
+}
+
+// WriteChrome writes events as Chrome trace-event JSON ({"traceEvents":
+// [...]}) viewable in about:tracing or Perfetto. Interface-queue residency
+// (enq→deq) and PHY airtime become complete ("X") events; every other
+// lifecycle step is a thread-scoped instant. Output is a deterministic
+// single pass over the recorded order.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return fmt.Errorf("span: chrome: %w", err)
+	}
+	type qkey struct {
+		node packet.NodeID
+		uid  uint64
+	}
+	enqAt := make(map[qkey]sim.Time)
+	var buf []byte
+	first := true
+	emit := func(b []byte) error {
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.Write(b)
+		return err
+	}
+	for _, e := range events {
+		name := e.Op.String()
+		if e.Cause != CauseNone {
+			name = name + "/" + e.Cause.String()
+		}
+		switch e.Op {
+		case OpEnq:
+			enqAt[qkey{e.Node, e.UID}] = e.At
+			continue
+		case OpDeq:
+			k := qkey{e.Node, e.UID}
+			start, ok := enqAt[k]
+			if !ok {
+				start = e.At
+			}
+			delete(enqAt, k)
+			buf = appendChromeEvent(buf[:0], "ifq", "ifq", 'X', start, e.At-start, e.Node, e)
+		case OpTx:
+			if e.Cause == CauseNone {
+				buf = appendChromeEvent(buf[:0], name, category(e.Op), 'X', e.At, e.Dur, e.Node, e)
+			} else {
+				buf = appendChromeEvent(buf[:0], name, category(e.Op), 'i', e.At, 0, e.Node, e)
+			}
+		default:
+			buf = appendChromeEvent(buf[:0], name, category(e.Op), 'i', e.At, 0, e.Node, e)
+		}
+		if err := emit(buf); err != nil {
+			return fmt.Errorf("span: chrome: %w", err)
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return fmt.Errorf("span: chrome: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("span: chrome: %w", err)
+	}
+	return nil
+}

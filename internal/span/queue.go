@@ -1,0 +1,66 @@
+// Queue instrumentation: a decorator recording enqueue/dequeue events and
+// a DropFn adapter for the interface-queue drop reasons. Both exist only
+// when a run is armed — the disarmed path constructs the bare queue with a
+// nil DropFn, so it pays nothing.
+package span
+
+import (
+	"vanetsim/internal/packet"
+	"vanetsim/internal/queue"
+)
+
+// tappedQueue wraps a queue.Queue, recording OpEnq on every accepted
+// enqueue and OpDeq on every dequeue.
+type tappedQueue struct {
+	queue.Queue
+	rec  *Recorder
+	node packet.NodeID
+}
+
+// TapQueue returns q wrapped so that accepted enqueues and dequeues are
+// recorded against node. With a nil recorder it returns q unchanged, so
+// callers can wrap unconditionally.
+func TapQueue(q queue.Queue, rec *Recorder, node packet.NodeID) queue.Queue {
+	if rec == nil {
+		return q
+	}
+	return &tappedQueue{Queue: q, rec: rec, node: node}
+}
+
+// Enqueue implements queue.Queue. Rejections are not recorded here — the
+// queue's own DropFn (IfqDropFn) reports them with the precise reason.
+func (t *tappedQueue) Enqueue(p *packet.Packet) bool {
+	ok := t.Queue.Enqueue(p)
+	if ok {
+		t.rec.Record(OpEnq, CauseNone, t.node, p)
+	}
+	return ok
+}
+
+// Dequeue implements queue.Queue.
+func (t *tappedQueue) Dequeue() *packet.Packet {
+	p := t.Queue.Dequeue()
+	if p != nil {
+		t.rec.Record(OpDeq, CauseNone, t.node, p)
+	}
+	return p
+}
+
+// IfqDropFn returns a queue.DropFn recording OpIfqDrop events against node,
+// mapping each queue drop reason to its span cause. With a nil recorder it
+// returns nil, preserving the queue's zero-cost silent-discard path.
+func (r *Recorder) IfqDropFn(node packet.NodeID) queue.DropFn {
+	if r == nil {
+		return nil
+	}
+	return func(p *packet.Packet, reason queue.DropReason) {
+		cause := CauseIfqFull
+		switch reason {
+		case queue.DropEvicted:
+			cause = CauseIfqEvict
+		case queue.DropEarly:
+			cause = CauseRedEarly
+		}
+		r.Record(OpIfqDrop, cause, node, p)
+	}
+}

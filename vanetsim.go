@@ -28,6 +28,7 @@ import (
 	"vanetsim/internal/runner"
 	"vanetsim/internal/scenario"
 	"vanetsim/internal/sim"
+	"vanetsim/internal/span"
 	"vanetsim/internal/trace"
 )
 
@@ -195,6 +196,71 @@ func WriteTrace(path string, r *TrialResult) error {
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("vanetsim: close trace: %w", err)
+	}
+	return nil
+}
+
+// SpanEvent is one causal-tracing lifecycle step of one packet (emit,
+// queue enq/deq, MAC wait, transmit with airtime, loss with cause,
+// forward, delivery). Arm collection with TrialConfig.Spans (and the
+// Highway/Jamming equivalents); the run's events land on the result's
+// Spans field in scheduler order.
+type SpanEvent = span.Event
+
+// LatencyBreakdown decomposes one delivered packet's end-to-end delay into
+// queueing, contention, airtime, retransmit, rerouting, and residual
+// components.
+type LatencyBreakdown = span.Breakdown
+
+// LatencyAggregate is the mean latency decomposition over delivered
+// packets.
+type LatencyAggregate = span.Aggregate
+
+// AnalyzeSpans folds a run's span events into one latency breakdown per
+// delivered packet.
+func AnalyzeSpans(events []SpanEvent) []LatencyBreakdown { return span.Analyze(events) }
+
+// SummarizeBreakdowns averages per-packet breakdowns into one aggregate.
+func SummarizeBreakdowns(bs []LatencyBreakdown) LatencyAggregate { return span.Summarize(bs) }
+
+// FormatLatencyComparison renders aggregates side by side (one labelled
+// column each) as an aligned per-component milliseconds table.
+func FormatLatencyComparison(labels []string, aggs []LatencyAggregate) string {
+	return span.FormatComparison(labels, aggs)
+}
+
+// WriteSpans writes a run's span events (run with Spans set) to path as
+// NDJSON, one event object per line in scheduler order. The bytes are
+// identical for a given configuration at any RunTrials parallelism.
+func WriteSpans(path string, events []SpanEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("vanetsim: %w", err)
+	}
+	if err := span.WriteNDJSON(f, events); err != nil {
+		f.Close()
+		return fmt.Errorf("vanetsim: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("vanetsim: close spans: %w", err)
+	}
+	return nil
+}
+
+// WriteSpansChrome writes a run's span events to path in the Chrome
+// trace-event JSON format (load via chrome://tracing or Perfetto; one
+// thread track per node).
+func WriteSpansChrome(path string, events []SpanEvent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("vanetsim: %w", err)
+	}
+	if err := span.WriteChrome(f, events); err != nil {
+		f.Close()
+		return fmt.Errorf("vanetsim: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("vanetsim: close spans: %w", err)
 	}
 	return nil
 }
