@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify check bench bench-obs bench-parallel bench-hot bench-guard fuzz fuzz-nightly lint trace
+.PHONY: build test verify check bench bench-obs bench-parallel bench-hot bench-guard bench-dense fuzz fuzz-nightly lint trace
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,16 @@ bench-guard:
 	$(GO) build -o /tmp/benchguard ./cmd/benchguard
 	$(MAKE) --no-print-directory bench-hot | tee /tmp/bench-hot.txt
 	/tmp/benchguard -baseline BENCH_PR3.json -input /tmp/bench-hot.txt
+
+# bench-dense is the broadcast-scaling gate: per-transmission PHY cost
+# over a dense highway line, spatial-index culling against the all-radios
+# scan (plus the index under continuous mobility refresh), judged against
+# BENCH_DENSE.json. The culled path must stay allocation-free, ~flat in
+# the fleet size, and >=5x under the scan at n=1000.
+bench-dense:
+	$(GO) build -o /tmp/benchguard ./cmd/benchguard
+	$(GO) test -bench='BenchmarkBroadcast(Scan|Culled|CulledMoving)' -benchmem -benchtime=1s -run='^$$' ./internal/phy | tee /tmp/bench-dense.txt
+	/tmp/benchguard -baseline BENCH_DENSE.json -input /tmp/bench-dense.txt
 
 # trace runs the quickstart example (trial 1) with causal span tracing
 # armed and writes a Chrome trace-event file: open trial1-spans.json in

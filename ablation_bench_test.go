@@ -185,7 +185,10 @@ func BenchmarkAblationPlatoonSize(b *testing.B) {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r := vanetsim.RunHighway(vanetsim.DefaultHighway(vanetsim.MACTDMA, n))
+				r, err := vanetsim.RunHighway(vanetsim.DefaultHighway(vanetsim.MACTDMA, n))
+				if err != nil {
+					b.Fatal(err)
+				}
 				b.ReportMetric(float64(r.Indications[0].IndicationDelay), "first_indication_s")
 				b.ReportMetric(float64(r.Collisions), "collisions")
 			}

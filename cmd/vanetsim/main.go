@@ -61,6 +61,12 @@ func run(args []string, out io.Writer) (err error) {
 		spansChr = fs.String("spans-chrome", "", "write span events as Chrome trace-event JSON to this path")
 		statsJSN = fs.String("stats-json", "", "write run telemetry as NDJSON to this path")
 		statsPrm = fs.String("stats-prom", "", "write run telemetry in Prometheus text format to this path")
+		dense    = fs.Int("dense", 0, "run the dense multi-lane highway with this many vehicles (200–2000 typical) instead of a paper trial")
+		lanes    = fs.Int("lanes", 4, "lane count for -dense")
+		platoon  = fs.Int("platoon-len", 10, "vehicles per platoon for -dense")
+		beaconFr = fs.Float64("beacon-frac", 0.25, "fraction of vehicles sourcing beacon traffic for -dense")
+		safDepth = fs.Int("safety-depth", 0, "followers per platoon on the lead's safety stream for -dense (0 = all)")
+		noCull   = fs.Bool("no-culling", false, "disable spatial-index neighbor culling (full receiver scan) for -dense")
 		loss     = fs.Float64("loss", 0, "independent per-frame loss probability")
 		ber      = fs.Float64("ber", 0, "independent per-bit error rate")
 		burstP   = fs.Float64("burst-loss", 0, "stationary loss probability of the bursty (Gilbert–Elliott) model")
@@ -81,6 +87,32 @@ func run(args []string, out io.Writer) (err error) {
 			err = e
 		}
 	}()
+
+	if *dense > 0 {
+		mac := vanetsim.MACTDMA
+		switch strings.ToLower(*macName) {
+		case "tdma":
+		case "802.11", "dcf", "80211":
+			mac = vanetsim.MAC80211
+		default:
+			return fmt.Errorf("unknown MAC %q", *macName)
+		}
+		dcfg := vanetsim.DefaultDenseHighway(mac, *dense)
+		dcfg.Lanes = *lanes
+		dcfg.PlatoonLen = *platoon
+		dcfg.BeaconFraction = *beaconFr
+		dcfg.SafetyDepth = *safDepth
+		dcfg.DisableCulling = *noCull
+		dcfg.Telemetry = *stats
+		dcfg.Check = *checkInv
+		if *duration > 0 {
+			dcfg.Duration = vanetsim.Seconds(*duration)
+		}
+		if *seed != 0 {
+			dcfg.Seed = *seed
+		}
+		return runDense(dcfg, *stats, out)
+	}
 
 	var cfg vanetsim.TrialConfig
 	switch *trial {
@@ -226,6 +258,57 @@ func run(args []string, out io.Writer) (err error) {
 	fmt.Fprintln(out, "\nStopping-distance analysis (initial packet, platoon 1):")
 	fmt.Fprint(out, vanetsim.FormatStoppingTable(vanetsim.StoppingTable(r)))
 	return emitStats()
+}
+
+// runDense executes and summarises the dense multi-lane scaling scenario.
+func runDense(cfg vanetsim.DenseHighwayConfig, stats bool, out io.Writer) error {
+	r, err := vanetsim.RunDenseHighway(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.Check {
+		if n := len(r.Violations); n > 0 {
+			for _, v := range r.Violations {
+				fmt.Fprintln(os.Stderr, "vanetsim:", v.Error())
+			}
+			return fmt.Errorf("%d invariant violation(s)", n)
+		}
+		fmt.Fprintln(out, "invariant check: clean (dense highway)")
+	}
+	culling := "culled"
+	if cfg.DisableCulling {
+		culling = "full scan"
+	}
+	fmt.Fprintf(out, "dense highway — %v MAC, %d vehicles, %d lanes, %d platoons (%s), %.0f s simulated in %.2f s wall\n\n",
+		cfg.MAC, cfg.Vehicles, cfg.Lanes, r.Platoons, culling, float64(cfg.Duration), r.WallSeconds)
+	notified, worst := 0, vanetsim.Seconds(0)
+	for _, ind := range r.Indications {
+		if ind.IndicationDelay >= 0 {
+			notified++
+			if ind.IndicationDelay > worst {
+				worst = ind.IndicationDelay
+			}
+		}
+	}
+	fmt.Fprintf(out, "brake indications: %d/%d followers notified, worst delay %.4f s\n",
+		notified, len(r.Indications), float64(worst))
+	fmt.Fprintf(out, "collisions: %d rear-end, %d corrupted frames (MAC contention)\n", r.Collisions, r.RxCollided)
+	safetyPct, beaconPct := 0.0, 0.0
+	if r.SafetySent > 0 {
+		safetyPct = 100 * float64(r.SafetyReceived) / float64(r.SafetySent)
+	}
+	if r.BeaconSent > 0 {
+		beaconPct = 100 * float64(r.BeaconReceived) / float64(r.BeaconSent)
+	}
+	fmt.Fprintf(out, "safety traffic: %d sent, %d delivered (%.1f%%)\n", r.SafetySent, r.SafetyReceived, safetyPct)
+	fmt.Fprintf(out, "beacon traffic: %d sent, %d delivered (%.1f%%)\n", r.BeaconSent, r.BeaconReceived, beaconPct)
+	fmt.Fprintf(out, "channel: %d arrivals offered, %d delivered, %d frequency-filtered\n",
+		r.Channel.Offered, r.Channel.Delivered, r.Channel.FilteredFreq)
+	if stats && r.Telemetry != nil {
+		fmt.Fprintln(out, "\nTelemetry:")
+		fmt.Fprint(out, r.Telemetry.FormatText())
+	}
+	return nil
 }
 
 // outageList collects repeated -outage flags.

@@ -48,7 +48,10 @@ func ExampleRunTrial() {
 // The highway extension: whether each follower stops in time depends on
 // the MAC's indication latency.
 func ExampleRunHighway() {
-	r := vanetsim.RunHighway(vanetsim.DefaultHighway(vanetsim.MAC80211, 4))
+	r, err := vanetsim.RunHighway(vanetsim.DefaultHighway(vanetsim.MAC80211, 4))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("collisions: %d\n", r.Collisions)
 	// Output:
 	// collisions: 0

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"vanetsim"
 )
@@ -17,7 +18,10 @@ func main() {
 	for _, n := range []int{4, 6, 10} {
 		fmt.Printf("=== %d-vehicle platoon, 25 m gaps, 50 mph, 6 m/s² braking ===\n", n)
 		for _, mac := range []vanetsim.MACType{vanetsim.MACTDMA, vanetsim.MAC80211} {
-			r := vanetsim.RunHighway(vanetsim.DefaultHighway(mac, n))
+			r, err := vanetsim.RunHighway(vanetsim.DefaultHighway(mac, n))
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("%v: %d collision(s)\n", mac, r.Collisions)
 			fmt.Printf("  %-8s %14s %12s %10s %9s\n", "vehicle", "indication(s)", "blind(m)", "gap(m)", "crashed")
 			for _, ind := range r.Indications {

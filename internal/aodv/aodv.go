@@ -78,6 +78,7 @@ type Stats struct {
 	RREQOriginated  int
 	RREQForwarded   int
 	RREQDuplicates  int
+	RREQStale       int // floods discarded for outliving the dedup window
 	RREPOriginated  int
 	RREPForwarded   int
 	RERRSent        int
@@ -241,10 +242,11 @@ func (a *Agent) sendRREQ(dst packet.NodeID, d *discovery) {
 	a.bcastID++
 	a.stats.RREQOriginated++
 	rq := &RREQ{
-		BcastID:   a.bcastID,
-		Dst:       dst,
-		Origin:    a.id,
-		OriginSeq: a.seq,
+		BcastID:      a.bcastID,
+		Dst:          dst,
+		Origin:       a.id,
+		OriginSeq:    a.seq,
+		OriginatedAt: a.sched.Now(),
 	}
 	if e := a.tbl.lookup(dst); e != nil && e.SeqValid {
 		rq.DstSeq = e.Seq
@@ -356,12 +358,21 @@ func (a *Agent) recvRREQ(p *packet.Packet, rq *RREQ) {
 	if rq.Origin == a.id {
 		return // our own flood echoed back
 	}
+	if now-rq.OriginatedAt > a.cfg.BcastIDSave {
+		// The flood has outlived its dedup window (it sat in slow MAC
+		// queues): discard it, or expired seen-entries would let it echo
+		// between neighbors forever.
+		a.stats.RREQStale++
+		return
+	}
 	key := seenKey{rq.Origin, rq.BcastID}
-	if exp, dup := a.seen[key]; dup && exp > now {
+	if _, dup := a.seen[key]; dup {
 		a.stats.RREQDuplicates++
 		return
 	}
-	a.seen[key] = now + a.cfg.BcastIDSave
+	// The entry must outlast every copy of the flood still in flight; the
+	// age check above guarantees none survives past OriginatedAt + save.
+	a.seen[key] = rq.OriginatedAt + a.cfg.BcastIDSave
 	a.pruneSeen(now)
 
 	// Route back to the previous hop and to the originator.

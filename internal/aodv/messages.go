@@ -31,6 +31,14 @@ type RREQ struct {
 	DstKnown  bool // false = "unknown sequence number" flag
 	Origin    packet.NodeID
 	OriginSeq uint32
+	// OriginatedAt bounds the flood's lifetime: receivers discard the
+	// request once it is older than BcastIDSave, so a flood cannot outlive
+	// its own duplicate-suppression entries. Without it, a slow MAC (a
+	// TDMA frame spanning hundreds of slots) can queue forwarded copies
+	// for longer than the dedup window and the flood echoes between
+	// neighbors indefinitely. Real AODV never needs this field because it
+	// assumes millisecond MACs; it carries no wire bytes here.
+	OriginatedAt sim.Time
 }
 
 // ClonePayload implements packet.Payload.

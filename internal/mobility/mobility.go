@@ -101,6 +101,12 @@ type Vehicle struct {
 
 	pending   sim.Timer // arrival/stop event for the current manoeuvre
 	listeners []func(Event)
+	// motionHooks fire after every trajectory change (any pushSegment),
+	// including phase-preserving ones like redirecting a moving vehicle.
+	// The PHY's spatial index keys its cell-staleness bounds off the
+	// current segment, so it must hear about every segment replacement,
+	// not just the phase transitions Subscribe reports.
+	motionHooks []func()
 }
 
 // NewVehicle creates a stationary vehicle at pos.
@@ -119,6 +125,32 @@ func (v *Vehicle) Phase() Phase { return v.phase }
 // Subscribe registers fn to receive this vehicle's motion events.
 func (v *Vehicle) Subscribe(fn func(Event)) {
 	v.listeners = append(v.listeners, fn)
+}
+
+// OnMotionChange registers fn to be called whenever the vehicle's
+// trajectory changes — every new constant-acceleration segment, whether or
+// not the phase changed. Hooks run after the new segment is in place, so
+// Motion sampled inside fn reflects the new trajectory.
+func (v *Vehicle) OnMotionChange(fn func()) {
+	v.motionHooks = append(v.motionHooks, fn)
+}
+
+func (v *Vehicle) notifyMotion() {
+	for _, fn := range v.motionHooks {
+		fn()
+	}
+}
+
+// Motion returns the vehicle's instantaneous kinematic state — position,
+// velocity, and acceleration of the current motion segment — at the
+// current simulated time. Between OnMotionChange notifications the vehicle
+// follows exactly this constant-acceleration law, which is what lets the
+// PHY's spatial index bound how far the vehicle can stray from a sampled
+// position without re-asking.
+func (v *Vehicle) Motion() (pos, vel, acc geom.Vec2) {
+	now := v.sched.Now()
+	s := v.segmentAt(now)
+	return s.at(now), s.velAt(now), s.acc
 }
 
 func (v *Vehicle) publish(t EventType) {
@@ -161,9 +193,10 @@ func (v *Vehicle) pushSegment(s segment) {
 	// segments.
 	if n := len(v.segs); n > 0 && v.segs[n-1].start == s.start {
 		v.segs[n-1] = s
-		return
+	} else {
+		v.segs = append(v.segs, s)
 	}
-	v.segs = append(v.segs, s)
+	v.notifyMotion()
 }
 
 func (v *Vehicle) cancelPending() {

@@ -159,6 +159,29 @@ func (p *Packet) Clone() *Packet {
 	return &q
 }
 
+// CloneInto deep-copies p into dst, reusing dst's allocation (and its TCP
+// header allocation, when both packets carry one). It is Clone for pooled
+// destinations: the PHY channel recycles frequency-filtered broadcast
+// clones through a free list, and this is how a recycled struct is
+// repopulated. The payload is still cloned fresh — payload ownership
+// transfers to whoever the clone is delivered to, so it cannot be pooled
+// here. Returns dst.
+func (p *Packet) CloneInto(dst *Packet) *Packet {
+	tcp := dst.TCP
+	*dst = *p
+	if p.TCP != nil {
+		if tcp == nil {
+			tcp = new(TCPHdr)
+		}
+		*tcp = *p.TCP
+		dst.TCP = tcp
+	}
+	if p.Payload != nil {
+		dst.Payload = p.Payload.ClonePayload()
+	}
+	return dst
+}
+
 // String summarises the packet for traces and test failures.
 func (p *Packet) String() string {
 	return fmt.Sprintf("pkt{uid=%d %s %dB %v->%v}", p.UID, p.Type, p.Size, p.IP.Src, p.IP.Dst)

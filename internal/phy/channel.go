@@ -33,14 +33,28 @@ type ChannelStats struct {
 // Channel is the shared wireless medium. Every attached radio's
 // transmission is offered to every other radio whose received power
 // clears its carrier-sense threshold, after the speed-of-light delay.
+//
+// With culling enabled (EnableCulling) the candidate receivers are first
+// narrowed to the transmitter's neighborhood through a uniform spatial
+// grid, making per-transmission cost proportional to the neighbor count
+// instead of the attached-radio count. Culling is exact: the grid's query
+// disc conservatively covers the carrier-sense range of every radio pair,
+// candidates are visited in attach order, and every culled radio would
+// have failed the received-power check anyway — so an indexed run is
+// byte-identical to a full-scan run.
 type Channel struct {
 	sched  *sim.Scheduler
 	prop   Propagation
 	radios []*Radio
+	idx    *neighborIndex // nil: broadcast full-scans
 
 	arriveFn func(any)
 	arrFree  []*arrival
-	stats    ChannelStats
+	// pktFree recycles broadcast clones whose arrival was frequency-
+	// filtered: such a clone never escaped the channel, so its allocation
+	// can back the next broadcast's clone instead of becoming garbage.
+	pktFree []*packet.Packet
+	stats   ChannelStats
 }
 
 // NewChannel creates a channel using the given propagation model.
@@ -54,17 +68,63 @@ func NewChannel(sched *sim.Scheduler, prop Propagation) *Channel {
 		c.stats.Delivered++
 		if dst.Freq() != freq {
 			c.stats.FilteredFreq++
-			return // tuned elsewhere: no energy seen
+			c.releaseClone(p) // tuned elsewhere: no energy seen, clone unused
+			return
 		}
 		dst.frameArrives(p, power, duration)
 	}
 	return c
 }
 
+// EnableCulling switches broadcast to spatial-index neighbor culling. It
+// may be called before or after radios attach, and is idempotent. Do not
+// enable culling under a propagation model whose received power is not a
+// monotone function of distance at the Range the model reports (log-normal
+// shadowing, for instance, can lift a receiver beyond the median range
+// above threshold — and culling it would also skip its RNG draw, changing
+// every draw after it).
+func (c *Channel) EnableCulling() {
+	if c.idx != nil {
+		return
+	}
+	c.idx = newNeighborIndex(c.prop)
+	for slot, r := range c.radios {
+		c.idx.attach(slot, r, c.sched.Now())
+	}
+}
+
+// CullingEnabled reports whether broadcast uses the spatial index.
+func (c *Channel) CullingEnabled() bool { return c.idx != nil }
+
 // Attach registers a radio on the medium.
 func (c *Channel) Attach(r *Radio) {
 	r.ch = c
+	r.slot = len(c.radios)
 	c.radios = append(c.radios, r)
+	if c.idx != nil {
+		c.idx.attach(r.slot, r, c.sched.Now())
+	}
+}
+
+// SetMotion gives the spatial index kinematic visibility into an attached
+// radio: its grid cell is revalidated on a deadline derived from the
+// reported motion segment instead of every broadcast. The caller must
+// pair this with MotionChanged notifications on every trajectory change.
+// A radio without motion info is never culled. No-op while culling is
+// disabled.
+func (c *Channel) SetMotion(r *Radio, fn MotionFn) {
+	if c.idx != nil && r.ch == c {
+		c.idx.setMotion(r.slot, fn, c.sched.Now())
+	}
+}
+
+// MotionChanged tells the spatial index that r's trajectory changed and
+// its cached cell deadline no longer holds. No-op while culling is
+// disabled or for radios without motion info.
+func (c *Channel) MotionChanged(r *Radio) {
+	if c.idx != nil && r.ch == c {
+		c.idx.motionChanged(r.slot, c.sched.Now())
+	}
 }
 
 // Radios returns all attached radios.
@@ -80,26 +140,61 @@ func (c *Channel) Propagation() Propagation { return c.prop }
 func (c *Channel) broadcast(src *Radio, p *packet.Packet, duration sim.Time) {
 	srcPos := src.pos()
 	txFreq := src.Freq()
-	for _, dst := range c.radios {
-		if dst == src {
-			continue
+	if c.idx.active() {
+		for _, slot := range c.idx.candidates(c.sched.Now(), srcPos) {
+			c.offer(src, c.radios[slot], srcPos, p, duration, txFreq)
 		}
-		pr := c.prop.RxPower(src.Params.TxPowerW, srcPos, dst.pos())
-		if pr < dst.Params.CSThreshW {
-			continue // below the noise floor: invisible
-		}
-		delay := sim.Time(srcPos.Dist(dst.pos()) / SpeedOfLight)
-		var ar *arrival
-		if n := len(c.arrFree); n > 0 {
-			ar = c.arrFree[n-1]
-			c.arrFree = c.arrFree[:n-1]
-		} else {
-			ar = &arrival{}
-		}
-		*ar = arrival{dst: dst, p: p.Clone(), power: pr, duration: duration, freq: txFreq}
-		c.stats.Offered++
-		c.sched.ScheduleArgKind(sim.KindPHY, delay, c.arriveFn, ar)
+		return
 	}
+	for _, dst := range c.radios {
+		c.offer(src, dst, srcPos, p, duration, txFreq)
+	}
+}
+
+// offer runs the per-receiver half of broadcast: the power check and, when
+// it passes, the pooled first-bit arrival. The receiver's position is
+// sampled exactly once, so received power and propagation delay are always
+// computed from the same point of its motion segment.
+func (c *Channel) offer(src, dst *Radio, srcPos geom.Vec2, p *packet.Packet, duration sim.Time, txFreq int) {
+	if dst == src {
+		return
+	}
+	dstPos := dst.pos()
+	pr := c.prop.RxPower(src.Params.TxPowerW, srcPos, dstPos)
+	if pr < dst.Params.CSThreshW {
+		return // below the noise floor: invisible
+	}
+	delay := sim.Time(srcPos.Dist(dstPos) / SpeedOfLight)
+	var ar *arrival
+	if n := len(c.arrFree); n > 0 {
+		ar = c.arrFree[n-1]
+		c.arrFree = c.arrFree[:n-1]
+	} else {
+		ar = &arrival{}
+	}
+	*ar = arrival{dst: dst, p: c.clonePacket(p), power: pr, duration: duration, freq: txFreq}
+	c.stats.Offered++
+	c.sched.ScheduleArgKind(sim.KindPHY, delay, c.arriveFn, ar)
+}
+
+// clonePacket deep-copies p for one receiver, reusing a recycled
+// frequency-filtered clone when one is available.
+func (c *Channel) clonePacket(p *packet.Packet) *packet.Packet {
+	if n := len(c.pktFree); n > 0 {
+		q := c.pktFree[n-1]
+		c.pktFree = c.pktFree[:n-1]
+		return p.CloneInto(q)
+	}
+	return p.Clone()
+}
+
+// releaseClone returns a clone that never left the channel to the free
+// list. The payload reference is dropped so the pool pins no packet
+// bodies; the struct (and any TCP header allocation) is reused by the
+// next clonePacket.
+func (c *Channel) releaseClone(p *packet.Packet) {
+	p.Payload = nil
+	c.pktFree = append(c.pktFree, p)
 }
 
 // Stats returns the channel's arrival counters.

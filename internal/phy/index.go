@@ -1,0 +1,302 @@
+package phy
+
+import (
+	"math"
+
+	"vanetsim/internal/geom"
+	"vanetsim/internal/sim"
+)
+
+// Motion is an instantaneous kinematic sample: the node follows
+// pos + vel·t + ½·acc·t² until its next trajectory change.
+type Motion struct {
+	Pos, Vel, Acc geom.Vec2
+}
+
+// MotionFn reports a node's current motion segment. The contract the
+// spatial index depends on: between two calls with no MotionChanged
+// notification in between, the node moves exactly along the reported
+// constant-acceleration law. mobility.Vehicle satisfies this — its
+// trajectory is piecewise constant-acceleration and every segment
+// replacement fires OnMotionChange.
+type MotionFn func() Motion
+
+// rangeMargin widens the cull radius by a relative epsilon so that a
+// receiver sitting numerically on the carrier-sense boundary — where
+// Propagation.Range and Propagation.RxPower may round the last bit in
+// opposite directions — is always iterated. Culling must be conservative:
+// it may only skip radios the power check would have skipped anyway.
+const rangeMargin = 1e-9
+
+// slackFraction sets the stale-position allowance as a fraction of the
+// cull range. Larger slack means fewer re-bucketing samples but a wider
+// query disc; a quarter of the carrier-sense range keeps both costs small.
+const slackFraction = 0.25
+
+// idxItem is one pending revalidation deadline in the index's internal
+// min-heap. Items are lazily deleted: a resample bumps the slot's
+// generation, turning every older item for that slot inert.
+type idxItem struct {
+	until sim.Time
+	slot  int32
+	gen   uint32
+}
+
+// neighborIndex culls broadcast receivers to the transmitter's
+// neighborhood. It keeps a uniform grid of slack-stale radio positions:
+// each indexed radio's stored position is guaranteed within slack metres
+// of its true position until the radio's revalidation deadline, derived
+// from its current motion segment (a vehicle doing 30 m/s with a 130 m
+// slack needs re-bucketing every ~4 s; a parked one never). Deadlines are
+// processed lazily inside broadcast — never via scheduler events, which
+// would perturb the sched/* telemetry the golden digests pin.
+//
+// Radios attached without motion information are never culled: they join
+// the always-candidate list, so an index over a partially mobile world
+// stays exact and merely degrades toward the full scan.
+//
+// Determinism contract: the candidate list is sorted by attach slot, so
+// culled iteration visits receivers in exactly the relative order the full
+// scan would, and the cull disc conservatively covers the carrier-sense
+// range of every attached radio pair — the index changes who is iterated,
+// never what is delivered.
+type neighborIndex struct {
+	prop Propagation
+	grid *geom.Grid
+
+	// Per-attach-slot state. motion is nil for unindexed radios.
+	motion []MotionFn
+	gen    []uint32
+
+	heap      []idxItem
+	unindexed []int32 // attach slots without motion info, ascending
+
+	// Cull-range inputs, maintained over attached radios. The query disc
+	// must cover the worst pair: strongest possible transmitter heard by
+	// the most sensitive possible receiver.
+	maxTxW float64
+	minCSW float64
+
+	cullRange float64 // prop.Range(maxTxW, minCSW), cached
+	slack     float64 // stale-position bound baked into the query radius
+
+	scratch []int32 // grid query buffer
+	merged  []int32 // grid hits merged with the unindexed list
+}
+
+func newNeighborIndex(prop Propagation) *neighborIndex {
+	return &neighborIndex{prop: prop, minCSW: math.Inf(1)}
+}
+
+// active reports whether culling is usable: a finite positive cull range
+// exists. A world with a non-positive carrier-sense threshold has infinite
+// range and must fall back to the full scan.
+func (ix *neighborIndex) active() bool {
+	return ix != nil && ix.cullRange > 0 && !math.IsInf(ix.cullRange, 1)
+}
+
+// attach registers a newly attached radio at slot. Radios start unindexed;
+// setMotion upgrades them.
+func (ix *neighborIndex) attach(slot int, r *Radio, now sim.Time) {
+	for len(ix.motion) <= slot {
+		ix.motion = append(ix.motion, nil)
+		ix.gen = append(ix.gen, 0)
+	}
+	ix.unindexed = append(ix.unindexed, int32(slot))
+	changed := false
+	if r.Params.TxPowerW > ix.maxTxW {
+		ix.maxTxW = r.Params.TxPowerW
+		changed = true
+	}
+	if r.Params.CSThreshW < ix.minCSW {
+		ix.minCSW = r.Params.CSThreshW
+		changed = true
+	}
+	if changed {
+		ix.recomputeRange(now)
+	}
+}
+
+// recomputeRange refreshes the cached cull range and slack after the
+// attached-radio extremes moved, rebuilding the grid when the query disc
+// outgrew the cell size. A non-positive or infinite range (degenerate
+// radio parameters) leaves the index inactive and broadcast full-scanning.
+func (ix *neighborIndex) recomputeRange(now sim.Time) {
+	if ix.maxTxW <= 0 || ix.minCSW <= 0 || math.IsInf(ix.minCSW, 1) {
+		ix.cullRange = 0
+		return
+	}
+	ix.cullRange = ix.prop.Range(ix.maxTxW, ix.minCSW)
+	ix.slack = ix.cullRange * slackFraction
+	if !ix.active() {
+		return
+	}
+	radius := ix.queryRadius()
+	if ix.grid == nil {
+		ix.grid = geom.NewGrid(radius)
+		// Promote motion-bearing radios that attached before any radio
+		// gave the index a finite range to build cells from.
+		keep := ix.unindexed[:0]
+		for _, s := range ix.unindexed {
+			if ix.motion[s] != nil {
+				ix.resample(s, now)
+			} else {
+				keep = append(keep, s)
+			}
+		}
+		ix.unindexed = keep
+	} else if radius > ix.grid.Cell() {
+		ix.grid.Rebuild(radius)
+	}
+}
+
+// queryRadius is the disc that conservatively covers every radio whose
+// true position could clear any attached receiver's carrier-sense
+// threshold: the worst-pair range, a relative epsilon for boundary
+// rounding, and the stale-position slack.
+func (ix *neighborIndex) queryRadius() float64 {
+	return ix.cullRange*(1+rangeMargin) + ix.slack
+}
+
+// setMotion upgrades slot from unindexed to indexed, sampling its position
+// now. Before the grid materialises the radio simply stays unindexed (an
+// always-candidate); recomputeRange promotes it when the first finite cull
+// range arrives.
+func (ix *neighborIndex) setMotion(slot int, fn MotionFn, now sim.Time) {
+	if fn == nil || ix.motion[slot] != nil {
+		return
+	}
+	ix.motion[slot] = fn
+	if ix.grid == nil {
+		return
+	}
+	for i, s := range ix.unindexed {
+		if s == int32(slot) {
+			ix.unindexed = append(ix.unindexed[:i], ix.unindexed[i+1:]...)
+			break
+		}
+	}
+	ix.resample(int32(slot), now)
+}
+
+// motionChanged re-buckets slot immediately: its previous deadline was
+// computed from a trajectory that no longer holds.
+func (ix *neighborIndex) motionChanged(slot int, now sim.Time) {
+	if slot < len(ix.motion) && ix.motion[slot] != nil {
+		ix.resample(int32(slot), now)
+	}
+}
+
+// resample stores slot's current position and schedules (internally) its
+// next revalidation from the current motion segment.
+func (ix *neighborIndex) resample(slot int32, now sim.Time) {
+	if ix.grid == nil {
+		// No finite cull range yet; the index is inactive and broadcast
+		// full-scans, so positions need no maintenance.
+		return
+	}
+	m := ix.motion[slot]()
+	ix.grid.Update(slot, m.Pos)
+	ix.gen[slot]++
+	ix.heapPush(idxItem{until: now + ix.horizon(m), slot: slot, gen: ix.gen[slot]})
+}
+
+// horizon bounds how long the sampled position stays within slack of the
+// true one: the first t with |v|·t + ½|a|·t² = slack, a conservative
+// (triangle-inequality) displacement bound for the current segment.
+func (ix *neighborIndex) horizon(m Motion) sim.Time {
+	v, a := m.Vel.Len(), m.Acc.Len()
+	switch {
+	case a == 0 && v == 0:
+		return sim.Forever
+	case a == 0:
+		return sim.Time(ix.slack / v)
+	default:
+		return sim.Time((math.Sqrt(v*v+2*a*ix.slack) - v) / a)
+	}
+}
+
+// refresh re-buckets every indexed radio whose revalidation deadline has
+// passed. Amortised cost is one heap pop per expiry, independent of the
+// radio count.
+func (ix *neighborIndex) refresh(now sim.Time) {
+	for len(ix.heap) > 0 {
+		top := ix.heap[0]
+		if top.until > now {
+			return
+		}
+		ix.heapPop()
+		if top.gen != ix.gen[top.slot] {
+			continue // superseded by a later resample
+		}
+		ix.resample(top.slot, now)
+	}
+}
+
+// candidates returns the attach slots that may hear a transmission from
+// srcPos, in ascending slot order: grid hits within the query disc merged
+// with the always-candidate unindexed radios. The returned slice is reused
+// across calls.
+func (ix *neighborIndex) candidates(now sim.Time, srcPos geom.Vec2) []int32 {
+	ix.refresh(now)
+	hits := ix.grid.QueryInto(ix.scratch[:0], srcPos, ix.queryRadius())
+	ix.scratch = hits[:0]
+	if len(ix.unindexed) == 0 {
+		return hits
+	}
+	// Merge two ascending slot lists.
+	out := ix.merged[:0]
+	i, j := 0, 0
+	for i < len(hits) && j < len(ix.unindexed) {
+		if hits[i] < ix.unindexed[j] {
+			out = append(out, hits[i])
+			i++
+		} else {
+			out = append(out, ix.unindexed[j])
+			j++
+		}
+	}
+	out = append(out, hits[i:]...)
+	out = append(out, ix.unindexed[j:]...)
+	ix.merged = out
+	return out
+}
+
+// The deadline heap: a hand-rolled binary min-heap on until (ties in any
+// order — expired items are processed in one batch and resampling is
+// order-independent), matching the repo's no-interface-boxing idiom.
+
+func (ix *neighborIndex) heapPush(it idxItem) {
+	ix.heap = append(ix.heap, it)
+	j := len(ix.heap) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if ix.heap[parent].until <= ix.heap[j].until {
+			break
+		}
+		ix.heap[parent], ix.heap[j] = ix.heap[j], ix.heap[parent]
+		j = parent
+	}
+}
+
+func (ix *neighborIndex) heapPop() {
+	last := len(ix.heap) - 1
+	ix.heap[0] = ix.heap[last]
+	ix.heap = ix.heap[:last]
+	j := 0
+	for {
+		l := 2*j + 1
+		if l >= last {
+			break
+		}
+		small := l
+		if r := l + 1; r < last && ix.heap[r].until < ix.heap[l].until {
+			small = r
+		}
+		if ix.heap[j].until <= ix.heap[small].until {
+			break
+		}
+		ix.heap[j], ix.heap[small] = ix.heap[small], ix.heap[j]
+		j = small
+	}
+}

@@ -106,6 +106,7 @@ type Radio struct {
 	id    packet.NodeID
 	sched *sim.Scheduler
 	ch    *Channel
+	slot  int // attach index on ch; the spatial index keys per-radio state by it
 	pos   PositionFn
 	mac   MAC
 	freq  FreqFn

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"time"
 
 	"vanetsim/internal/check"
@@ -97,10 +98,11 @@ type HighwayResult struct {
 	WallSeconds float64
 }
 
-// RunHighway executes the emergency-braking scenario.
-func RunHighway(cfg HighwayConfig) *HighwayResult {
+// RunHighway executes the emergency-braking scenario. It returns an error
+// on an unrunnable configuration (fewer than two vehicles).
+func RunHighway(cfg HighwayConfig) (*HighwayResult, error) {
 	if cfg.Vehicles < 2 {
-		panic("scenario: highway needs at least two vehicles")
+		return nil, fmt.Errorf("scenario: highway needs at least two vehicles, got %d", cfg.Vehicles)
 	}
 	stack := DefaultStackConfig(cfg.MAC)
 	stack.QueueCap = cfg.QueueCap
@@ -125,7 +127,7 @@ func RunHighway(cfg HighwayConfig) *HighwayResult {
 	p := mobility.NewPlatoon(s, 0, cfg.Vehicles, geom.V(float64(cfg.Vehicles)*cfg.SpacingM, 0), geom.V(1, 0), cfg.SpacingM)
 	nets := make([]*netlayer.Net, 0, p.Len())
 	for _, v := range p.Vehicles() {
-		nets = append(nets, w.AddNode(v.ID(), v.Position).Net)
+		nets = append(nets, w.AddVehicleNode(v).Net)
 	}
 	p.SetDest(geom.V(1e6, 0), cfg.SpeedMS) // cruise: silent
 
@@ -187,5 +189,5 @@ func RunHighway(cfg HighwayConfig) *HighwayResult {
 	res.Violations = w.AuditInvariants(comms)
 	res.Spans = stack.Spans.Events()
 	res.WallSeconds = time.Since(wallStart).Seconds()
-	return res
+	return res, nil
 }

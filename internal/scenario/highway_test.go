@@ -7,8 +7,17 @@ import (
 	"vanetsim/internal/sim"
 )
 
+func mustHighway(t *testing.T, cfg scenario.HighwayConfig) *scenario.HighwayResult {
+	t.Helper()
+	r, err := scenario.RunHighway(cfg)
+	if err != nil {
+		t.Fatalf("RunHighway: %v", err)
+	}
+	return r
+}
+
 func TestHighwayIndicationsOrdered(t *testing.T) {
-	r := scenario.RunHighway(scenario.DefaultHighway(scenario.MAC80211, 6))
+	r := mustHighway(t, scenario.DefaultHighway(scenario.MAC80211, 6))
 	if len(r.Indications) != 5 {
 		t.Fatalf("indications = %d, want one per follower", len(r.Indications))
 	}
@@ -32,11 +41,11 @@ func TestHighway80211SafeTDMANot(t *testing.T) {
 	// The paper's conclusion, end-to-end: with 25 m gaps at 50 mph, the
 	// sub-10-ms 802.11 indication leaves everyone room to stop, while the
 	// TDMA slot wait puts the first follower into the lead's bumper.
-	dcf := scenario.RunHighway(scenario.DefaultHighway(scenario.MAC80211, 6))
+	dcf := mustHighway(t, scenario.DefaultHighway(scenario.MAC80211, 6))
 	if dcf.Collisions != 0 {
 		t.Fatalf("802.11 run had %d collisions, want 0", dcf.Collisions)
 	}
-	tdma := scenario.RunHighway(scenario.DefaultHighway(scenario.MACTDMA, 6))
+	tdma := mustHighway(t, scenario.DefaultHighway(scenario.MACTDMA, 6))
 	if tdma.Collisions == 0 {
 		t.Fatal("TDMA run had no collisions; the latency penalty should be unsafe here")
 	}
@@ -48,7 +57,7 @@ func TestHighway80211SafeTDMANot(t *testing.T) {
 }
 
 func TestHighwayAllStopped(t *testing.T) {
-	r := scenario.RunHighway(scenario.DefaultHighway(scenario.MAC80211, 5))
+	r := mustHighway(t, scenario.DefaultHighway(scenario.MAC80211, 5))
 	for _, v := range r.Platoon.Vehicles() {
 		if v.Speed() != 0 {
 			t.Fatalf("vehicle %v still moving at end of run", v.ID())
@@ -61,15 +70,15 @@ func TestHighwayWiderGapsSafeEverywhere(t *testing.T) {
 	// function of gap vs latency, not hardwired.
 	cfg := scenario.DefaultHighway(scenario.MACTDMA, 5)
 	cfg.SpacingM = 60
-	r := scenario.RunHighway(cfg)
+	r := mustHighway(t, cfg)
 	if r.Collisions != 0 {
 		t.Fatalf("60 m gaps should be safe even under TDMA; got %d collisions", r.Collisions)
 	}
 }
 
 func TestHighwayDeterminism(t *testing.T) {
-	a := scenario.RunHighway(scenario.DefaultHighway(scenario.MAC80211, 5))
-	b := scenario.RunHighway(scenario.DefaultHighway(scenario.MAC80211, 5))
+	a := mustHighway(t, scenario.DefaultHighway(scenario.MAC80211, 5))
+	b := mustHighway(t, scenario.DefaultHighway(scenario.MAC80211, 5))
 	for i := range a.Indications {
 		if a.Indications[i] != b.Indications[i] {
 			t.Fatalf("same seed diverged: %+v vs %+v", a.Indications[i], b.Indications[i])
@@ -77,12 +86,9 @@ func TestHighwayDeterminism(t *testing.T) {
 	}
 }
 
-func TestHighwayPanicsOnOneVehicle(t *testing.T) {
+func TestHighwayErrorsOnOneVehicle(t *testing.T) {
 	cfg := scenario.DefaultHighway(scenario.MAC80211, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("single-vehicle highway did not panic")
-		}
-	}()
-	scenario.RunHighway(cfg)
+	if _, err := scenario.RunHighway(cfg); err == nil {
+		t.Fatal("single-vehicle highway did not return an error")
+	}
 }

@@ -34,7 +34,10 @@ func TestHighwayCleanUnderCheck(t *testing.T) {
 	for _, mac := range []scenario.MACType{scenario.MACTDMA, scenario.MAC80211} {
 		cfg := scenario.DefaultHighway(mac, 4)
 		cfg.Check = true
-		r := scenario.RunHighway(cfg)
+		r, err := scenario.RunHighway(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", mac, err)
+		}
 		for _, v := range r.Violations {
 			t.Errorf("%v: %v", mac, v.Error())
 		}

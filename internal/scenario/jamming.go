@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"time"
 
 	"vanetsim/internal/app"
@@ -94,7 +95,7 @@ type JammingResult struct {
 // configuration is invalid (see jammer.New).
 func RunJamming(cfg JammingConfig) (*JammingResult, error) {
 	if cfg.Vehicles < 2 {
-		panic("scenario: jamming run needs at least two vehicles")
+		return nil, fmt.Errorf("scenario: jamming run needs at least two vehicles, got %d", cfg.Vehicles)
 	}
 	stack := DefaultStackConfig(cfg.MAC)
 	if cfg.TDMARateBps > 0 {
@@ -124,10 +125,10 @@ func RunJamming(cfg JammingConfig) (*JammingResult, error) {
 		delays *metrics.DelaySeries
 		rcv    packet.NodeID
 	}
-	leadNode := w.AddNode(p.Lead().ID(), p.Lead().Position)
+	leadNode := w.AddVehicleNode(p.Lead())
 	flows := make([]*flowEnd, 0, cfg.Vehicles-1)
 	for i, f := range p.Followers() {
-		n := w.AddNode(f.ID(), f.Position)
+		n := w.AddVehicleNode(f)
 		port := 3000 + 2*i
 		fe := &flowEnd{
 			src:    app.NewUDPSource(s, leadNode.Net, w.PF, port, f.ID(), port+1, packet.TypeEBL),

@@ -98,13 +98,10 @@ func TestJammingPerFlowAccounting(t *testing.T) {
 	}
 }
 
-func TestJammingPanicsOnTinyPlatoon(t *testing.T) {
+func TestJammingErrorsOnTinyPlatoon(t *testing.T) {
 	cfg := scenario.DefaultJamming(scenario.MAC80211)
 	cfg.Vehicles = 1
-	defer func() {
-		if recover() == nil {
-			t.Fatal("single-vehicle jamming run did not panic")
-		}
-	}()
-	scenario.RunJamming(cfg)
+	if _, err := scenario.RunJamming(cfg); err == nil {
+		t.Fatal("single-vehicle jamming run did not return an error")
+	}
 }

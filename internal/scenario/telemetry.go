@@ -107,6 +107,7 @@ func (w *World) HarvestTelemetry(comms ...*ebl.PlatoonComms) *obs.Snapshot {
 		as := n.AODV.Stats()
 		add("aodv/rreq_originated", "route requests originated", as.RREQOriginated)
 		add("aodv/rreq_forwarded", "route requests rebroadcast", as.RREQForwarded)
+		add("aodv/rreq_stale", "route requests discarded for outliving the dedup window", as.RREQStale)
 		add("aodv/rrep_originated", "route replies originated", as.RREPOriginated)
 		add("aodv/rrep_forwarded", "route replies forwarded", as.RREPForwarded)
 		add("aodv/rerr_sent", "route errors sent", as.RERRSent)
@@ -116,6 +117,7 @@ func (w *World) HarvestTelemetry(comms ...*ebl.PlatoonComms) *obs.Snapshot {
 		add("aodv/rerr_bytes", "bytes of RERR traffic offered to the stack", as.RERRBytes)
 		add("aodv/hello_bytes", "bytes of hello traffic offered to the stack", as.HelloBytes)
 		add("aodv/data_no_route", "data packets lacking a route", as.DataNoRoute)
+		add("aodv/buffered_dropped", "buffered packets abandoned after failed discovery", as.BufferedDropped)
 		add("aodv/link_breaks", "MAC-reported link failures", as.LinkBreaks)
 
 		switch {

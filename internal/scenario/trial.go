@@ -199,7 +199,7 @@ func RunTrial(cfg TrialConfig) *TrialResult {
 		nets := make([]*netlayer.Net, 0, p.Len())
 		for _, v := range p.Vehicles() {
 			v := v
-			n := w.AddNode(v.ID(), v.Position)
+			n := w.AddVehicleNode(v)
 			nets = append(nets, n.Net)
 		}
 		return nets

@@ -13,6 +13,7 @@ import (
 	"vanetsim/internal/mac"
 	"vanetsim/internal/mac80211"
 	"vanetsim/internal/mactdma"
+	"vanetsim/internal/mobility"
 	"vanetsim/internal/netlayer"
 	"vanetsim/internal/obs"
 	"vanetsim/internal/packet"
@@ -81,6 +82,11 @@ type StackConfig struct {
 	// seam records lifecycle events into this recorder. Tracing is
 	// observation-only and, like Check, byte-identical on or off.
 	Spans *span.Recorder
+	// DisableCulling forces the channel's full-receiver scan even when the
+	// propagation model would allow spatial-index culling. Culling is exact
+	// — indexed and scanned runs are byte-identical — so this only costs
+	// time; it exists for equivalence tests and scaling benchmarks.
+	DisableCulling bool
 }
 
 // DefaultStackConfig returns the paper's fixed parameters: drop-tail
@@ -174,6 +180,14 @@ func NewWorld(cfg StackConfig, seed uint64) *World {
 	// The recorder carries the run's clock so clockless layers (netlayer,
 	// queue taps) can stamp events; Bind is nil-safe.
 	w.spans.Bind(s)
+	if shadow == nil && !cfg.DisableCulling {
+		// Spatial-index neighbor culling is exact (byte-identical digests)
+		// for every deterministic monotone propagation model. Shadowing is
+		// the exception: its per-computation RNG draw means skipping a
+		// below-median receiver would also skip a draw and shift every
+		// subsequent sample, so shadowed worlds keep the full scan.
+		w.Channel.EnableCulling()
+	}
 	if cfg.Faults.LinkEnabled() {
 		w.fault = fault.NewInjector(cfg.Faults, rng.Fork("fault/link"))
 	}
@@ -275,6 +289,23 @@ func (w *World) AddNode(id packet.NodeID, pos phy.PositionFn) *Node {
 	n.AODV.SetCheck(w.routeGuard)
 	n.AODV.SetSpans(w.spans)
 	w.Nodes = append(w.Nodes, n)
+	return n
+}
+
+// AddVehicleNode assembles a stack for a mobile vehicle and gives the
+// channel's spatial index kinematic visibility into it: the index learns
+// the vehicle's constant-acceleration segment and is notified on every
+// trajectory change, so the radio's grid cell is revalidated only when the
+// vehicle could actually have strayed. Nodes added via plain AddNode are
+// never culled, so mixing the two stays exact.
+func (w *World) AddVehicleNode(v *mobility.Vehicle) *Node {
+	n := w.AddNode(v.ID(), v.Position)
+	w.Channel.SetMotion(n.Radio, func() phy.Motion {
+		pos, vel, acc := v.Motion()
+		return phy.Motion{Pos: pos, Vel: vel, Acc: acc}
+	})
+	radio := n.Radio
+	v.OnMotionChange(func() { w.Channel.MotionChanged(radio) })
 	return n
 }
 

@@ -103,8 +103,30 @@ type BrakeIndication = scenario.BrakeIndication
 // vehicles on the given MAC.
 func DefaultHighway(mac MACType, n int) HighwayConfig { return scenario.DefaultHighway(mac, n) }
 
-// RunHighway executes the highway emergency-braking scenario.
-func RunHighway(cfg HighwayConfig) *HighwayResult { return scenario.RunHighway(cfg) }
+// RunHighway executes the highway emergency-braking scenario. It returns
+// an error on an unrunnable configuration (fewer than two vehicles).
+func RunHighway(cfg HighwayConfig) (*HighwayResult, error) { return scenario.RunHighway(cfg) }
+
+// DenseHighwayConfig configures the multi-lane scaling scenario: hundreds
+// to thousands of vehicles in per-lane platoons under a mixed beacon and
+// safety-stream load, the workload the channel's spatial-index neighbor
+// culling exists for.
+type DenseHighwayConfig = scenario.DenseHighwayConfig
+
+// DenseHighwayResult carries a completed dense-highway run's outcomes.
+type DenseHighwayResult = scenario.DenseHighwayResult
+
+// DefaultDenseHighway returns an n-vehicle four-lane configuration on the
+// given MAC.
+func DefaultDenseHighway(mac MACType, n int) DenseHighwayConfig {
+	return scenario.DefaultDenseHighway(mac, n)
+}
+
+// RunDenseHighway executes the dense multi-lane scaling scenario. It
+// returns an error on an unrunnable configuration.
+func RunDenseHighway(cfg DenseHighwayConfig) (*DenseHighwayResult, error) {
+	return scenario.RunDenseHighway(cfg)
+}
 
 // JammingConfig configures the denial-of-service experiment: a stopped
 // platoon exchanging EBL status datagrams while an attacker floods the
