@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify check bench bench-obs bench-parallel bench-hot bench-guard bench-dense fuzz fuzz-nightly lint trace
+.PHONY: build test verify check bench bench-obs bench-parallel bench-hot bench-guard bench-dense bench-shard fuzz fuzz-nightly lint trace
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,20 @@ bench-dense:
 	$(GO) build -o /tmp/benchguard ./cmd/benchguard
 	$(GO) test -bench='BenchmarkBroadcast(Scan|Culled|CulledMoving)' -benchmem -benchtime=1s -run='^$$' ./internal/phy | tee /tmp/bench-dense.txt
 	/tmp/benchguard -baseline BENCH_DENSE.json -input /tmp/bench-dense.txt
+
+# bench-shard is the staged-offer-pipeline gate: the sharded broadcast
+# path and the dense scenario at -shards 4, judged against
+# BENCH_SHARD.json. GOMAXPROCS=1 pins the pipeline's inline (no-worker)
+# compute path, so timings measure the staging overhead itself and stay
+# comparable across hosts; the sharded path must stay allocation-free
+# per transmission and within tolerance of the serial loop. Output
+# equality across shard counts is a test, not a benchmark — see
+# TestDenseHighwayShardInvariance.
+bench-shard:
+	$(GO) build -o /tmp/benchguard ./cmd/benchguard
+	GOMAXPROCS=1 $(GO) test -bench='BenchmarkBroadcastSharded' -benchmem -benchtime=1s -run='^$$' ./internal/phy | tee /tmp/bench-shard.txt
+	GOMAXPROCS=1 $(GO) test -bench='BenchmarkDenseShards' -benchmem -benchtime=2x -run='^$$' . | tee -a /tmp/bench-shard.txt
+	/tmp/benchguard -baseline BENCH_SHARD.json -input /tmp/bench-shard.txt
 
 # trace runs the quickstart example (trial 1) with causal span tracing
 # armed and writes a Chrome trace-event file: open trial1-spans.json in

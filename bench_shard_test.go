@@ -1,0 +1,44 @@
+// Shard-scaling benchmark: the dense-highway scenario end to end at
+// different shard counts of the staged offer pipeline. Output is
+// byte-identical at every shard count (TestDenseHighwayShardInvariance),
+// so this pair measures pure execution cost: on a single-CPU host the
+// pipeline computes its shards inline and shards=4 must stay within
+// tolerance of shards=1; on a multi-core host the compute stage fans out
+// across worker goroutines. Compare with
+//
+//	GOMAXPROCS=1 go test -bench='BenchmarkDenseShards' -benchtime=2x -benchmem .
+//
+// The wall-clock speedup recorded in BENCH_SHARD.json comes from the
+// engine work that rode along with the sharding PR (three-tier scheduler
+// heap with batch horizon migration, epoch draining, staged offers), not
+// from parallel hardware: the reference host has one CPU.
+package vanetsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vanetsim"
+)
+
+func benchDenseShards(b *testing.B, shards int) {
+	cfg := vanetsim.DefaultDenseHighway(vanetsim.MAC80211, 240)
+	cfg.Duration = vanetsim.Seconds(5)
+	cfg.Shards = shards
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := vanetsim.RunDenseHighway(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Channel.Delivered == 0 {
+			b.Fatal("dense run delivered nothing")
+		}
+	}
+}
+
+func BenchmarkDenseShards(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { benchDenseShards(b, shards) })
+	}
+}

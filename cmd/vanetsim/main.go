@@ -65,6 +65,8 @@ func run(args []string, out io.Writer) (err error) {
 		lanes    = fs.Int("lanes", 4, "lane count for -dense")
 		platoon  = fs.Int("platoon-len", 10, "vehicles per platoon for -dense")
 		beaconFr = fs.Float64("beacon-frac", 0.25, "fraction of vehicles sourcing beacon traffic for -dense")
+		beaconJt = fs.Float64("beacon-jitter", 0, "per-vehicle beacon-interval jitter fraction in [0,1) for -dense (0 = lockstep intervals)")
+		shards   = fs.Int("shards", 1, "intra-run shard count for the staged offer pipeline (output is byte-identical at any value)")
 		safDepth = fs.Int("safety-depth", 0, "followers per platoon on the lead's safety stream for -dense (0 = all)")
 		noCull   = fs.Bool("no-culling", false, "disable spatial-index neighbor culling (full receiver scan) for -dense")
 		loss     = fs.Float64("loss", 0, "independent per-frame loss probability")
@@ -101,9 +103,11 @@ func run(args []string, out io.Writer) (err error) {
 		dcfg.Lanes = *lanes
 		dcfg.PlatoonLen = *platoon
 		dcfg.BeaconFraction = *beaconFr
+		dcfg.BeaconJitter = *beaconJt
 		dcfg.SafetyDepth = *safDepth
 		dcfg.DisableCulling = *noCull
-		dcfg.Telemetry = *stats
+		dcfg.Shards = *shards
+		dcfg.Telemetry = *stats || *statsJSN != "" || *statsPrm != ""
 		dcfg.Check = *checkInv
 		if *duration > 0 {
 			dcfg.Duration = vanetsim.Seconds(*duration)
@@ -111,7 +115,7 @@ func run(args []string, out io.Writer) (err error) {
 		if *seed != 0 {
 			dcfg.Seed = *seed
 		}
-		return runDense(dcfg, *stats, out)
+		return runDense(dcfg, *stats, *statsJSN, *statsPrm, out)
 	}
 
 	var cfg vanetsim.TrialConfig
@@ -143,6 +147,7 @@ func run(args []string, out io.Writer) (err error) {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Shards = *shards
 	cfg.CollectTrace = *traceOut != ""
 	cfg.Telemetry = *stats || *statsJSN != "" || *statsPrm != ""
 	cfg.Check = *checkInv
@@ -261,7 +266,7 @@ func run(args []string, out io.Writer) (err error) {
 }
 
 // runDense executes and summarises the dense multi-lane scaling scenario.
-func runDense(cfg vanetsim.DenseHighwayConfig, stats bool, out io.Writer) error {
+func runDense(cfg vanetsim.DenseHighwayConfig, stats bool, statsJSON, statsProm string, out io.Writer) error {
 	r, err := vanetsim.RunDenseHighway(cfg)
 	if err != nil {
 		return err
@@ -304,9 +309,21 @@ func runDense(cfg vanetsim.DenseHighwayConfig, stats bool, out io.Writer) error 
 	fmt.Fprintf(out, "beacon traffic: %d sent, %d delivered (%.1f%%)\n", r.BeaconSent, r.BeaconReceived, beaconPct)
 	fmt.Fprintf(out, "channel: %d arrivals offered, %d delivered, %d frequency-filtered\n",
 		r.Channel.Offered, r.Channel.Delivered, r.Channel.FilteredFreq)
-	if stats && r.Telemetry != nil {
-		fmt.Fprintln(out, "\nTelemetry:")
-		fmt.Fprint(out, r.Telemetry.FormatText())
+	if r.Telemetry != nil {
+		if statsJSON != "" {
+			if err := writeSnapshot(statsJSON, r.Telemetry.NDJSON); err != nil {
+				return err
+			}
+		}
+		if statsProm != "" {
+			if err := writeSnapshot(statsProm, r.Telemetry.Prometheus); err != nil {
+				return err
+			}
+		}
+		if stats {
+			fmt.Fprintln(out, "\nTelemetry:")
+			fmt.Fprint(out, r.Telemetry.FormatText())
+		}
 	}
 	return nil
 }

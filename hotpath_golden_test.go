@@ -43,9 +43,11 @@ func sha(b []byte) string {
 	return hex.EncodeToString(h[:])
 }
 
-// filteredNDJSON renders the telemetry snapshot with the host-clock gauges
-// (run/wall_*) removed: they are the only legitimately non-deterministic
-// metrics, and simulation behaviour never reads them.
+// filteredNDJSON renders the telemetry snapshot with the host-execution
+// gauges removed: the host-clock pair (run/wall_*) is legitimately
+// non-deterministic, and the shard-pipeline profile (sched/shard_*)
+// necessarily varies with the configured shard count. Simulation
+// behaviour never reads either.
 func filteredNDJSON(t *testing.T, snap *vanetsim.Telemetry) []byte {
 	t.Helper()
 	var raw bytes.Buffer
@@ -56,7 +58,8 @@ func filteredNDJSON(t *testing.T, snap *vanetsim.Telemetry) []byte {
 	sc := bufio.NewScanner(&raw)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
-		if strings.Contains(sc.Text(), `"run/wall`) {
+		if strings.Contains(sc.Text(), `"run/wall`) ||
+			strings.Contains(sc.Text(), `"sched/shard_`) {
 			continue
 		}
 		out.Write(sc.Bytes())

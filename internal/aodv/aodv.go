@@ -609,6 +609,11 @@ func (a *Agent) onHelloTimer() {
 
 // noteNeighbor records that we heard from a neighbour (hello bookkeeping).
 func (a *Agent) noteNeighbor(n packet.NodeID) {
+	if a.cfg.HelloInterval <= 0 {
+		// Hello mode off: nothing ever reads the last-heard table, so the
+		// per-reception map write would be pure overhead on the hot path.
+		return
+	}
 	if n == packet.None || n == packet.Broadcast {
 		return
 	}

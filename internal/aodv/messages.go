@@ -47,6 +47,15 @@ func (m *RREQ) ClonePayload() packet.Payload {
 	return &c
 }
 
+// ClonePayloadOnto implements packet.ReusablePayload.
+func (m *RREQ) ClonePayloadOnto(old packet.Payload) (packet.Payload, bool) {
+	if o, ok := old.(*RREQ); ok {
+		*o = *m
+		return o, true
+	}
+	return nil, false
+}
+
 // RREP is a route reply, unicast hop-by-hop back to the request origin.
 // Hellos are RREPs with Hello=true, broadcast with TTL 1.
 type RREP struct {
@@ -62,6 +71,15 @@ type RREP struct {
 func (m *RREP) ClonePayload() packet.Payload {
 	c := *m
 	return &c
+}
+
+// ClonePayloadOnto implements packet.ReusablePayload.
+func (m *RREP) ClonePayloadOnto(old packet.Payload) (packet.Payload, bool) {
+	if o, ok := old.(*RREP); ok {
+		*o = *m
+		return o, true
+	}
+	return nil, false
 }
 
 // Unreachable names a destination lost with a link break.
@@ -80,6 +98,22 @@ func (m *RERR) ClonePayload() packet.Payload {
 	c := RERR{Dests: make([]Unreachable, len(m.Dests))}
 	copy(c.Dests, m.Dests)
 	return &c
+}
+
+// ClonePayloadOnto implements packet.ReusablePayload, reusing old's Dests
+// backing array when it has the capacity.
+func (m *RERR) ClonePayloadOnto(old packet.Payload) (packet.Payload, bool) {
+	o, ok := old.(*RERR)
+	if !ok {
+		return nil, false
+	}
+	if cap(o.Dests) < len(m.Dests) {
+		o.Dests = make([]Unreachable, len(m.Dests))
+	} else {
+		o.Dests = o.Dests[:len(m.Dests)]
+	}
+	copy(o.Dests, m.Dests)
+	return o, true
 }
 
 func rerrSize(n int) int { return rerrBase + rerrPerDest*n }

@@ -1,0 +1,44 @@
+package check
+
+import "vanetsim/internal/sim"
+
+// ShardCounts is one shard's staged-offer pipeline activity, as reported
+// by the PHY's per-shard counters: candidates whose compute stage the
+// shard ran, how many of those cleared carrier sense, and how many staged
+// broadcasts the shard participated in.
+type ShardCounts struct {
+	Staged  uint64
+	Heard   uint64
+	Batches uint64
+}
+
+// AuditShards audits the staged-offer pipeline's cross-shard conservation
+// at end of run: every shard saw every staged broadcast (the dispatch is a
+// barrier, so Batches must agree across shards), no shard heard more
+// candidates than it staged, and the shards' heard totals cannot exceed
+// the channel's offered-arrival count (serial offers make up the
+// difference). A nil registry or an empty shard set is a no-op — the audit
+// is an observation of counters the pipeline maintains anyway.
+func AuditShards(r *Registry, at sim.Time, shards []ShardCounts, offered int) {
+	if r == nil || len(shards) == 0 {
+		return
+	}
+	var heard uint64
+	for i, s := range shards {
+		if s.Heard > s.Staged {
+			r.Violationf(at, "phy", "shard_conservation",
+				"shard %d heard %d candidates but staged only %d", i, s.Heard, s.Staged)
+		}
+		if s.Batches != shards[0].Batches {
+			r.Violationf(at, "phy", "shard_conservation",
+				"shard %d ran %d batches but shard 0 ran %d — a staged broadcast skipped a shard",
+				i, s.Batches, shards[0].Batches)
+		}
+		heard += s.Heard
+	}
+	if offered >= 0 && heard > uint64(offered) {
+		r.Violationf(at, "phy", "shard_conservation",
+			"shards heard %d candidates in total but the channel offered only %d arrivals",
+			heard, offered)
+	}
+}

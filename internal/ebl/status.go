@@ -33,6 +33,15 @@ func (b *BrakeStatus) ClonePayload() packet.Payload {
 	return &c
 }
 
+// ClonePayloadOnto implements packet.ReusablePayload.
+func (b *BrakeStatus) ClonePayloadOnto(old packet.Payload) (packet.Payload, bool) {
+	if o, ok := old.(*BrakeStatus); ok {
+		*o = *b
+		return o, true
+	}
+	return nil, false
+}
+
 // statusSampler builds a BrakeStatus provider bound to a vehicle.
 func statusSampler(sched *sim.Scheduler, v *mobility.Vehicle) func() packet.Payload {
 	return func() packet.Payload {

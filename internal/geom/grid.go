@@ -2,7 +2,7 @@ package geom
 
 import (
 	"math"
-	"slices"
+	"math/bits"
 )
 
 // Grid is a uniform spatial hash over points in the plane, keyed by integer
@@ -26,6 +26,10 @@ type Grid struct {
 	pos []Vec2
 	key []uint64
 	in  []bool
+	// hits is QueryInto's scratch bitmap, one bit per ID. Emitting set bits
+	// word by word yields ascending order without a comparison sort; each
+	// query clears only the words it touched.
+	hits []uint64
 }
 
 // NewGrid creates an empty grid with the given cell side. It panics on a
@@ -85,6 +89,18 @@ func (g *Grid) Remove(id int32) {
 	g.in[id] = false
 }
 
+// CellKey returns the packed key of the cell currently holding id, and
+// whether id is stored. The key identifies a grid region: two IDs share a
+// key exactly when they occupy the same cell. Its bit layout is otherwise
+// opaque (callers reducing it to a small range should mix it first — the
+// packed fields make raw modulo degenerate).
+func (g *Grid) CellKey(id int32) (uint64, bool) {
+	if int(id) >= len(g.in) || !g.in[id] {
+		return 0, false
+	}
+	return g.key[id], true
+}
+
 // Pos returns id's stored position and whether it is present.
 func (g *Grid) Pos(id int32) (Vec2, bool) {
 	if int(id) >= len(g.in) || !g.in[id] {
@@ -122,29 +138,57 @@ func (g *Grid) removeFromCell(id int32, k uint64) {
 }
 
 // QueryInto appends to dst every stored ID whose position lies within
-// radius of center (boundary inclusive) and returns the slice sorted
-// ascending. dst is reused to keep the query allocation-free in steady
-// state; pass dst[:0] of a scratch buffer.
+// radius of center (boundary inclusive), in ascending ID order, and
+// returns the extended slice. dst is reused to keep the query
+// allocation-free in steady state; pass dst[:0] of a scratch buffer.
+//
+// Ordering comes from a per-ID scratch bitmap rather than a comparison
+// sort: hits set their bit, then the touched word range is swept emitting
+// set bits low to high. IDs are dense attach slots, so the sweep covers a
+// few words and the whole query stays O(cells scanned + hits).
 func (g *Grid) QueryInto(dst []int32, center Vec2, radius float64) []int32 {
 	if radius < 0 {
 		return dst
+	}
+	if need := (len(g.pos) + 63) / 64; len(g.hits) < need {
+		g.hits = append(g.hits, make([]uint64, need-len(g.hits))...)
 	}
 	r2 := radius * radius
 	cx0 := int32(math.Floor((center.X - radius) / g.cell))
 	cx1 := int32(math.Floor((center.X + radius) / g.cell))
 	cy0 := int32(math.Floor((center.Y - radius) / g.cell))
 	cy1 := int32(math.Floor((center.Y + radius) / g.cell))
+	w := g.hits
+	lo, hi := len(w), -1
 	for cx := cx0; cx <= cx1; cx++ {
 		for cy := cy0; cy <= cy1; cy++ {
 			k := uint64(uint32(cx))<<32 | uint64(uint32(cy))
 			for _, id := range g.cells[k] {
 				if g.pos[id].DistSq(center) <= r2 {
-					dst = append(dst, id)
+					wi := int(id) >> 6
+					w[wi] |= 1 << (uint(id) & 63)
+					if wi < lo {
+						lo = wi
+					}
+					if wi > hi {
+						hi = wi
+					}
 				}
 			}
 		}
 	}
-	slices.Sort(dst)
+	for wi := lo; wi <= hi; wi++ {
+		word := w[wi]
+		if word == 0 {
+			continue
+		}
+		w[wi] = 0
+		base := int32(wi << 6)
+		for word != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
 	return dst
 }
 

@@ -124,8 +124,11 @@ func (j *Jammer) burst() {
 	j.sched.ScheduleKind(sim.KindApp, period, j.burst)
 }
 
-// RecvFromPhy implements phy.MAC: the jammer ignores all traffic.
-func (j *Jammer) RecvFromPhy(*packet.Packet, bool) {}
+// RecvFromPhy implements phy.MAC: the jammer ignores all traffic, so
+// every frame it decodes goes straight back to the channel's clone pool.
+func (j *Jammer) RecvFromPhy(p *packet.Packet, _ bool) {
+	j.radio.ReleaseFrame(p)
+}
 
 // ChannelBusy implements phy.MAC.
 func (j *Jammer) ChannelBusy() {}

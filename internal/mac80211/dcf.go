@@ -152,6 +152,14 @@ type MAC struct {
 	navUntil sim.Time
 	navTimer sim.Timer
 
+	// Hot-path callbacks, bound once at construction: the access and NAV
+	// timers are re-armed on nearly every medium transition, and a fresh
+	// method value (or closure) per arming is real allocation traffic at
+	// dense fleet sizes.
+	difsEndFn    func()
+	backoffEndFn func()
+	navExpireFn  func()
+
 	txBusy     bool // our radio is clocking out a frame
 	pendingAck sim.Timer
 
@@ -189,6 +197,12 @@ func New(id packet.NodeID, sched *sim.Scheduler, radio *phy.Radio, ifq queue.Que
 		pf:    pf,
 		cw:    cfg.CWMin,
 		dedup: make(map[uint64]bool),
+	}
+	m.difsEndFn = m.onDifsEnd
+	m.backoffEndFn = m.onBackoffEnd
+	m.navExpireFn = func() {
+		m.navTimer = sim.Timer{}
+		m.startAccess()
 	}
 	radio.SetMAC(m)
 	return m
@@ -246,7 +260,7 @@ func (m *MAC) startAccess() {
 		return
 	}
 	m.phase = phaseDIFS
-	m.accessTimer = m.sched.ScheduleKind(sim.KindMAC, m.cfg.DIFS, m.onDifsEnd)
+	m.accessTimer = m.sched.ScheduleKind(sim.KindMAC, m.cfg.DIFS, m.difsEndFn)
 }
 
 func (m *MAC) onDifsEnd() {
@@ -260,7 +274,7 @@ func (m *MAC) onDifsEnd() {
 		m.phase = phaseBackoff
 		m.backoffStart = m.sched.Now()
 		d := sim.Time(float64(m.backoffSlots)) * m.cfg.SlotTime
-		m.accessTimer = m.sched.ScheduleKind(sim.KindMAC, d, m.onBackoffEnd)
+		m.accessTimer = m.sched.ScheduleKind(sim.KindMAC, d, m.backoffEndFn)
 		return
 	}
 	m.transmitData()
@@ -415,6 +429,7 @@ func (m *MAC) finishCurrent(ok bool) {
 func (m *MAC) RecvFromPhy(p *packet.Packet, corrupted bool) {
 	if corrupted {
 		m.stats.RxCorrupted++
+		m.radio.ReleaseFrame(p)
 		return
 	}
 	// Virtual carrier sense: honour the NAV of frames addressed elsewhere.
@@ -425,6 +440,12 @@ func (m *MAC) RecvFromPhy(p *packet.Packet, corrupted bool) {
 			m.armNavTimer()
 		}
 	}
+	// Every arm below that does not hand p to the network layer recycles
+	// it: under a dense fleet almost every decoded frame is overheard
+	// traffic or MAC control, and releasing those is what keeps the
+	// receive path allocation-free in steady state. The handlers consume
+	// header fields before the release (scheduleCTS and scheduleAck copy
+	// what their deferred callbacks need).
 	switch p.Mac.Subtype {
 	case packet.MacAck:
 		if p.Mac.Dst == m.id && m.waitingAck {
@@ -433,10 +454,12 @@ func (m *MAC) RecvFromPhy(p *packet.Packet, corrupted bool) {
 			m.waitingAck = false
 			m.finishCurrent(true)
 		}
+		m.radio.ReleaseFrame(p)
 	case packet.MacRTS:
 		if p.Mac.Dst == m.id {
 			m.scheduleCTS(p)
 		}
+		m.radio.ReleaseFrame(p)
 	case packet.MacCTS:
 		if p.Mac.Dst == m.id && m.waitingCTS {
 			m.ctsTimer.Cancel()
@@ -444,12 +467,14 @@ func (m *MAC) RecvFromPhy(p *packet.Packet, corrupted bool) {
 			m.waitingCTS = false
 			m.sendDataAfterCTS()
 		}
+		m.radio.ReleaseFrame(p)
 	case packet.MacData:
 		switch p.Mac.Dst {
 		case m.id:
 			m.scheduleAck(p)
 			if m.isDup(p.UID) {
 				m.stats.RxDup++
+				m.radio.ReleaseFrame(p)
 				return
 			}
 			m.stats.RxDelivered++
@@ -457,9 +482,17 @@ func (m *MAC) RecvFromPhy(p *packet.Packet, corrupted bool) {
 		case packet.Broadcast:
 			m.stats.RxDelivered++
 			m.up.RecvFromMac(p)
+		default:
+			m.radio.ReleaseFrame(p) // overheard unicast: NAV already honoured
 		}
+	default:
+		m.radio.ReleaseFrame(p)
 	}
 }
+
+// ReleaseDelivered lets the network layer recycle a received frame it has
+// fully consumed (see netlayer's frameReleaser).
+func (m *MAC) ReleaseDelivered(p *packet.Packet) { m.radio.ReleaseFrame(p) }
 
 // scheduleAck sends an ACK one SIFS after the data frame ended. ACKs are
 // sent regardless of medium state — SIFS priority is what makes them win
@@ -573,10 +606,7 @@ func (m *MAC) armNavTimer() {
 	}
 	m.navTimer.Cancel()
 	until := m.navUntil
-	m.navTimer = m.sched.AtKind(sim.KindMAC, until, func() {
-		m.navTimer = sim.Timer{}
-		m.startAccess()
-	})
+	m.navTimer = m.sched.AtKind(sim.KindMAC, until, m.navExpireFn)
 }
 
 // String identifies the MAC in logs.

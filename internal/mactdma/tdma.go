@@ -302,20 +302,27 @@ func (m *MAC) onSlot() {
 func (m *MAC) RecvFromPhy(p *packet.Packet, corrupted bool) {
 	if corrupted {
 		m.stats.RxCorrupted++
+		m.radio.ReleaseFrame(p)
 		return
 	}
 	if p.Mac.Subtype != packet.MacData {
 		// Jamming or foreign control energy: never delivered upward.
 		m.stats.RxFiltered++
+		m.radio.ReleaseFrame(p)
 		return
 	}
 	if p.Mac.Dst != m.id && p.Mac.Dst != packet.Broadcast {
 		m.stats.RxFiltered++
+		m.radio.ReleaseFrame(p)
 		return
 	}
 	m.stats.RxDelivered++
 	m.up.RecvFromMac(p)
 }
+
+// ReleaseDelivered lets the network layer recycle a received frame it has
+// fully consumed (see netlayer's frameReleaser).
+func (m *MAC) ReleaseDelivered(p *packet.Packet) { m.radio.ReleaseFrame(p) }
 
 // ChannelBusy implements phy.MAC; TDMA does no carrier sensing.
 func (m *MAC) ChannelBusy() {}

@@ -179,6 +179,13 @@ func (v *Vehicle) Velocity() geom.Vec2 {
 func (v *Vehicle) Speed() float64 { return v.Velocity().Len() }
 
 func (v *Vehicle) segmentAt(t sim.Time) segment {
+	// Nearly every query is at the current simulated time, which the latest
+	// segment covers; testing it first keeps the hot path free of the
+	// binary search (and, being a pure read, free of any cached state that
+	// concurrent position sampling would race on).
+	if s := v.segs[len(v.segs)-1]; s.start <= t {
+		return s
+	}
 	// Segments are appended in time order; find the last with start <= t.
 	i := sort.Search(len(v.segs), func(i int) bool { return v.segs[i].start > t })
 	if i == 0 {

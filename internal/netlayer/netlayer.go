@@ -54,8 +54,18 @@ type Net struct {
 	route Routing
 	ports map[int]PortHandler
 	spans *span.Recorder
+	// release recycles a fully consumed received frame back into the PHY's
+	// clone pool (nil when the MAC below offers no recycling).
+	release func(*packet.Packet)
 
 	stats Stats
+}
+
+// frameReleaser is the optional MAC capability the network layer uses to
+// recycle received frames it has finished with. Both bundled MACs forward
+// it to phy.Radio.ReleaseFrame.
+type frameReleaser interface {
+	ReleaseDelivered(p *packet.Packet)
 }
 
 var _ mac.Upcall = (*Net)(nil)
@@ -75,6 +85,9 @@ func (n *Net) Stats() Stats { return n.stats }
 func (n *Net) Attach(ifq queue.Queue, m mac.MAC) {
 	n.ifq = ifq
 	n.mac = m
+	if fr, ok := m.(frameReleaser); ok {
+		n.release = fr.ReleaseDelivered
+	}
 }
 
 // SetRouting installs the routing agent.
@@ -134,7 +147,17 @@ func (n *Net) DeliverLocally(p *packet.Packet) {
 }
 
 // RecvFromMac implements mac.Upcall.
-func (n *Net) RecvFromMac(p *packet.Packet) { n.route.HandleIncoming(p) }
+func (n *Net) RecvFromMac(p *packet.Packet) {
+	n.route.HandleIncoming(p)
+	// Routing-control packets terminate here: the agent's handlers copy
+	// whatever they keep (table entries, forwarded floods are fresh
+	// packets), so the receiver's private clone — and its payload — can go
+	// straight back to the PHY's pool. Data packets cannot: they may be
+	// buffered for discovery, forwarded, or handed to an application.
+	if p.Type.IsControl() && n.release != nil {
+		n.release(p)
+	}
+}
 
 // MacTxDone implements mac.Upcall.
 func (n *Net) MacTxDone(p *packet.Packet, ok bool) {

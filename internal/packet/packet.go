@@ -118,6 +118,18 @@ type Payload interface {
 	ClonePayload() Payload
 }
 
+// ReusablePayload is an optional Payload extension for pooled packets.
+// ClonePayloadOnto copies the receiver's value onto old — the payload left
+// behind in a recycled packet — when old has the same concrete type,
+// returning the reused object and true; otherwise it returns nil, false
+// and the caller falls back to ClonePayload. Implementations exist for the
+// high-rate payloads (AODV control, brake status) so that steady-state
+// broadcast cloning allocates neither packets nor payloads.
+type ReusablePayload interface {
+	Payload
+	ClonePayloadOnto(old Payload) (Payload, bool)
+}
+
 // Packet is the simulator's protocol data unit.
 type Packet struct {
 	UID  uint64 // unique per scenario, assigned by Factory
@@ -161,13 +173,14 @@ func (p *Packet) Clone() *Packet {
 
 // CloneInto deep-copies p into dst, reusing dst's allocation (and its TCP
 // header allocation, when both packets carry one). It is Clone for pooled
-// destinations: the PHY channel recycles frequency-filtered broadcast
-// clones through a free list, and this is how a recycled struct is
-// repopulated. The payload is still cloned fresh — payload ownership
-// transfers to whoever the clone is delivered to, so it cannot be pooled
-// here. Returns dst.
+// destinations: the PHY channel recycles released broadcast clones through
+// a free list, and this is how a recycled struct is repopulated. When the
+// recycled packet still carries a payload of the same concrete type, the
+// payload allocation is reused too (see ReusablePayload) — the release
+// contract guarantees nothing upstack retained it. Returns dst.
 func (p *Packet) CloneInto(dst *Packet) *Packet {
 	tcp := dst.TCP
+	old := dst.Payload
 	*dst = *p
 	if p.TCP != nil {
 		if tcp == nil {
@@ -177,6 +190,12 @@ func (p *Packet) CloneInto(dst *Packet) *Packet {
 		dst.TCP = tcp
 	}
 	if p.Payload != nil {
+		if r, ok := p.Payload.(ReusablePayload); ok && old != nil {
+			if q, ok := r.ClonePayloadOnto(old); ok {
+				dst.Payload = q
+				return dst
+			}
+		}
 		dst.Payload = p.Payload.ClonePayload()
 	}
 	return dst

@@ -17,6 +17,14 @@ type arrival struct {
 	power    float64
 	duration sim.Time
 	freq     int
+	// owned marks p as this arrival's private clone. In the common case an
+	// arrival borrows the transmitter's packet instead: the first bit
+	// reaches every receiver after the propagation delay, strictly before
+	// the sender's end-of-transmission at +duration — the earliest moment
+	// any MAC touches the frame again — so the original is immutable for
+	// the whole flight and the deep copy can wait until a receiver actually
+	// locks on. Loss paths (the vast majority under load) then never copy.
+	owned bool
 }
 
 // ChannelStats counts medium-level arrival outcomes: every arrival the
@@ -43,10 +51,14 @@ type ChannelStats struct {
 // have failed the received-power check anyway — so an indexed run is
 // byte-identical to a full-scan run.
 type Channel struct {
-	sched  *sim.Scheduler
-	prop   Propagation
-	radios []*Radio
-	idx    *neighborIndex // nil: broadcast full-scans
+	sched *sim.Scheduler
+	prop  Propagation
+	// propDist is prop's distance-based fast path, nil when prop does not
+	// provide one. offer needs the src–dst distance anyway for the
+	// propagation delay, so this avoids re-deriving it inside RxPower.
+	propDist DistPropagation
+	radios   []*Radio
+	idx      *neighborIndex // nil: broadcast full-scans
 
 	arriveFn func(any)
 	arrFree  []*arrival
@@ -55,23 +67,31 @@ type Channel struct {
 	// can back the next broadcast's clone instead of becoming garbage.
 	pktFree []*packet.Packet
 	stats   ChannelStats
+
+	// pipe is the staged offer pipeline (see pipe.go); nil keeps broadcast
+	// fully serial. pipeStats preserves the counters past CloseSharding.
+	pipe      *offerPipe
+	pipeStats []PipeShardStats
 }
 
 // NewChannel creates a channel using the given propagation model.
 func NewChannel(sched *sim.Scheduler, prop Propagation) *Channel {
 	c := &Channel{sched: sched, prop: prop}
+	c.propDist, _ = prop.(DistPropagation)
 	c.arriveFn = func(a any) {
 		ar := a.(*arrival)
-		dst, p, power, duration, freq := ar.dst, ar.p, ar.power, ar.duration, ar.freq
+		dst, p, power, duration, freq, owned := ar.dst, ar.p, ar.power, ar.duration, ar.freq, ar.owned
 		*ar = arrival{}
 		c.arrFree = append(c.arrFree, ar)
 		c.stats.Delivered++
 		if dst.Freq() != freq {
 			c.stats.FilteredFreq++
-			c.releaseClone(p) // tuned elsewhere: no energy seen, clone unused
+			if owned {
+				c.releaseClone(p) // tuned elsewhere: no energy seen, clone unused
+			}
 			return
 		}
-		dst.frameArrives(p, power, duration)
+		dst.frameArrives(p, power, duration, owned)
 	}
 	return c
 }
@@ -135,13 +155,19 @@ func (c *Channel) Propagation() Propagation { return c.prop }
 
 // broadcast delivers a transmission from src to every other radio above
 // its carrier-sense threshold that is tuned to the same frequency channel
-// when the first bit arrives. Each receiver gets its own clone of the
-// packet so that forwarding never aliases.
+// when the first bit arrives. A receiver that locks onto the frame gets
+// its own clone of the packet (made at lock time) so that forwarding
+// never aliases.
 func (c *Channel) broadcast(src *Radio, p *packet.Packet, duration sim.Time) {
 	srcPos := src.pos()
 	txFreq := src.Freq()
 	if c.idx.active() {
-		for _, slot := range c.idx.candidates(c.sched.Now(), srcPos) {
+		cands := c.idx.candidates(c.sched.Now(), srcPos)
+		if c.pipe != nil && len(cands) >= pipeThreshold {
+			c.broadcastStaged(src, cands, srcPos, p, duration, txFreq)
+			return
+		}
+		for _, slot := range cands {
 			c.offer(src, c.radios[slot], srcPos, p, duration, txFreq)
 		}
 		return
@@ -160,11 +186,21 @@ func (c *Channel) offer(src, dst *Radio, srcPos geom.Vec2, p *packet.Packet, dur
 		return
 	}
 	dstPos := dst.pos()
-	pr := c.prop.RxPower(src.Params.TxPowerW, srcPos, dstPos)
+	var pr float64
+	var dist float64
+	if c.propDist != nil {
+		dist = srcPos.Dist(dstPos)
+		pr = c.propDist.RxPowerDist(src.Params.TxPowerW, dist)
+	} else {
+		pr = c.prop.RxPower(src.Params.TxPowerW, srcPos, dstPos)
+	}
 	if pr < dst.Params.CSThreshW {
 		return // below the noise floor: invisible
 	}
-	delay := sim.Time(srcPos.Dist(dstPos) / SpeedOfLight)
+	if c.propDist == nil {
+		dist = srcPos.Dist(dstPos)
+	}
+	delay := sim.Time(dist / SpeedOfLight)
 	var ar *arrival
 	if n := len(c.arrFree); n > 0 {
 		ar = c.arrFree[n-1]
@@ -172,7 +208,14 @@ func (c *Channel) offer(src, dst *Radio, srcPos geom.Vec2, p *packet.Packet, dur
 	} else {
 		ar = &arrival{}
 	}
-	*ar = arrival{dst: dst, p: c.clonePacket(p), power: pr, duration: duration, freq: txFreq}
+	ap, owned := p, false
+	if delay >= duration {
+		// Pathological geometry: the first bit would arrive at or after the
+		// sender's end of transmission, when the MAC is free to mutate the
+		// frame again. Fall back to the eager per-receiver clone.
+		ap, owned = c.clonePacket(p), true
+	}
+	*ar = arrival{dst: dst, p: ap, power: pr, duration: duration, freq: txFreq, owned: owned}
 	c.stats.Offered++
 	c.sched.ScheduleArgKind(sim.KindPHY, delay, c.arriveFn, ar)
 }
@@ -188,12 +231,12 @@ func (c *Channel) clonePacket(p *packet.Packet) *packet.Packet {
 	return p.Clone()
 }
 
-// releaseClone returns a clone that never left the channel to the free
-// list. The payload reference is dropped so the pool pins no packet
-// bodies; the struct (and any TCP header allocation) is reused by the
-// next clonePacket.
+// releaseClone returns a released clone to the free list. The payload is
+// deliberately kept: the releaser asserts nothing upstack retained it, so
+// the next clonePacket of a same-typed payload can reuse its allocation
+// in place (packet, TCP header, and payload then all recycle). The pool's
+// footprint stays bounded by the peak number of in-flight clones.
 func (c *Channel) releaseClone(p *packet.Packet) {
-	p.Payload = nil
 	c.pktFree = append(c.pktFree, p)
 }
 

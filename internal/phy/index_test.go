@@ -202,10 +202,10 @@ func TestBroadcastSamplesReceiverPositionOnce(t *testing.T) {
 	}
 }
 
-// TestFrequencyFilteredCloneRecycled pins the fix for the leaked broadcast
-// clone: a clone discarded by the arrival-time frequency filter must land
-// on the channel's free list and back the next broadcast's clone.
-func TestFrequencyFilteredCloneRecycled(t *testing.T) {
+// TestFrequencyFilteredArrivalDoesNotClone pins the clone elision: an
+// arrival borrows the transmitter's packet, so an arrival discarded by the
+// frequency filter never allocates (or pools) a per-receiver clone at all.
+func TestFrequencyFilteredArrivalDoesNotClone(t *testing.T) {
 	s := sim.New()
 	ch := NewChannel(s, DefaultPropagation())
 	tx := NewRadio(0, s, fixedPos(0, 0), DefaultRadioParams())
@@ -228,15 +228,46 @@ func TestFrequencyFilteredCloneRecycled(t *testing.T) {
 	if len(rxMAC.frames) != 0 {
 		t.Fatalf("filtered receiver still got %d frames", len(rxMAC.frames))
 	}
+	if len(ch.pktFree) != 0 {
+		t.Fatalf("free list holds %d clones, want 0: a borrowed arrival has no clone to pool", len(ch.pktFree))
+	}
+}
+
+// TestEagerCloneRecycledOnFilter pins the eager-clone fallback (first bit
+// arriving at or after the sender's end of transmission): its filtered
+// clone must land on the channel's free list and back the next eager clone.
+func TestEagerCloneRecycledOnFilter(t *testing.T) {
+	s := sim.New()
+	ch := NewChannel(s, DefaultPropagation())
+	tx := NewRadio(0, s, fixedPos(0, 0), DefaultRadioParams())
+	tx.SetMAC(&recorder{})
+	ch.Attach(tx)
+	rxMAC := &recorder{}
+	rx := NewRadio(1, s, fixedPos(100, 0), DefaultRadioParams())
+	rx.SetMAC(rxMAC)
+	rx.SetFreqFn(func() int { return 7 }) // tuned away: every arrival filtered
+	ch.Attach(rx)
+
+	// 100 m of propagation is ~333 ns; a 100 ns frame ends before its first
+	// bit lands, so offer must clone eagerly rather than borrow.
+	const dur = 100e-9
+	var pf packet.Factory
+	if err := tx.Transmit(pf.New(packet.TypeCBR, 100, 0), dur); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(1)
+	if got := ch.Stats().FilteredFreq; got != 1 {
+		t.Fatalf("FilteredFreq = %d, want 1", got)
+	}
 	if len(ch.pktFree) != 1 {
-		t.Fatalf("free list holds %d clones after a filtered arrival, want 1", len(ch.pktFree))
+		t.Fatalf("free list holds %d clones after a filtered eager arrival, want 1", len(ch.pktFree))
 	}
 	recycled := ch.pktFree[0]
 	if recycled.Payload != nil {
 		t.Fatal("released clone still pins a payload")
 	}
-	// The next broadcast must reuse the pooled struct, not allocate.
-	if err := tx.Transmit(pf.New(packet.TypeCBR, 100, 0), 0.001); err != nil {
+	// The next eager broadcast must reuse the pooled struct, not allocate.
+	if err := tx.Transmit(pf.New(packet.TypeCBR, 100, 0), dur); err != nil {
 		t.Fatal(err)
 	}
 	if len(ch.pktFree) != 0 {

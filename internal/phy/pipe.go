@@ -1,0 +1,249 @@
+package phy
+
+import (
+	"runtime"
+	"sync"
+
+	"vanetsim/internal/geom"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// Staged offer pipeline: the sharded half of the channel's intra-run
+// parallelism. A broadcast's per-receiver work splits cleanly in two:
+//
+//   - compute: sample the receiver's position, derive distance, received
+//     power, the carrier-sense verdict, and the propagation delay. Pure —
+//     it reads immutable radio parameters and piecewise-trajectory state
+//     that nothing mutates while a broadcast runs.
+//   - commit: pool an arrival, decide borrow-vs-clone, count it, and
+//     schedule the first-bit event. Order-sensitive — arrivals must enter
+//     the scheduler in candidate order to keep sequence numbers, and with
+//     them the whole run, byte-identical.
+//
+// The pipeline computes stage one across shards — candidates are
+// partitioned by their internal/geom grid region — and then commits
+// serially in ascending candidate order, exactly the order the serial
+// offer loop uses. The partition therefore never affects output: any
+// shard count, including the degenerate single shard, produces
+// bit-for-bit the serial engine's run. The conservative-window PDES
+// runtime (sim.ShardGroup) makes the same guarantee for whole event
+// streams; this pipeline applies it to the simulator's highest-volume
+// inner loop, where the receivers of one transmission are causally
+// independent by construction.
+
+// pipeThreshold is the candidate count below which a broadcast skips the
+// pipeline: dispatching shards costs two synchronisations, which only pays
+// for itself once a transmission has tens of prospective receivers.
+const pipeThreshold = 16
+
+// offerStage is one candidate's precomputed offer: the order-independent
+// half of the per-receiver work, filled in by whichever shard owns the
+// candidate's grid region.
+type offerStage struct {
+	dst   *Radio
+	shard uint32
+	heard bool // cleared carrier sense; power and delay are valid
+	power float64
+	delay sim.Time
+}
+
+// PipeShardStats counts one shard's pipeline activity. The counters are
+// host-execution diagnostics in the same sense as wall-clock time: they
+// are deterministic for a fixed shard count but necessarily vary across
+// shard counts, so they live outside the byte-identity contract (telemetry
+// comparisons strip sched/shard_* lines alongside run/wall_*).
+type PipeShardStats struct {
+	Staged  uint64 // candidates whose compute stage this shard ran
+	Heard   uint64 // staged candidates that cleared carrier sense
+	Batches uint64 // staged broadcasts this shard participated in
+}
+
+// forceParallel makes EnableSharding spawn worker goroutines even on a
+// single-CPU host. Tests set it (before enabling sharding) so the
+// concurrent compute stage runs — and races surface — under -race
+// regardless of the machine the tests happen to run on.
+var forceParallel = false
+
+// offerPipe owns the shard workers and their shared per-broadcast state.
+// Shard 0 is computed by the simulation goroutine itself; shards 1..n-1
+// each have a parked worker goroutine woken per staged broadcast. On a
+// single-CPU host the workers could only ever time-slice with the
+// simulation goroutine, so no goroutines are spawned and the simulation
+// goroutine computes every shard itself, in shard order — the per-shard
+// counters and the committed event sequence are identical either way,
+// because the shard partition (not the goroutine count) is what the
+// stage assignment depends on.
+type offerPipe struct {
+	shards int
+	stages []offerStage
+	stats  []PipeShardStats
+
+	// Per-broadcast inputs, written before workers are woken (the channel
+	// send orders the writes) and read-only while they run.
+	srcPos geom.Vec2
+	txPowW float64
+	prop   DistPropagation
+
+	start []chan struct{}
+	wg    sync.WaitGroup
+}
+
+// compute runs the pure stage for every candidate owned by shard. Each
+// shard writes only its own candidates' stage slots and its own stats
+// entry; position sampling is a pure read of piecewise-trajectory state.
+func (p *offerPipe) compute(shard uint32) {
+	st := &p.stats[shard]
+	st.Batches++
+	for i := range p.stages {
+		sg := &p.stages[i]
+		if sg.shard != shard {
+			continue
+		}
+		st.Staged++
+		dstPos := sg.dst.pos()
+		dist := p.srcPos.Dist(dstPos)
+		pr := p.prop.RxPowerDist(p.txPowW, dist)
+		if pr < sg.dst.Params.CSThreshW {
+			continue // below the noise floor: invisible
+		}
+		sg.heard = true
+		sg.power = pr
+		sg.delay = sim.Time(dist / SpeedOfLight)
+		st.Heard++
+	}
+}
+
+// EnableSharding turns on the staged offer pipeline with n shards. It is a
+// no-op for n < 2 or when sharding is already enabled. Sharding requires a
+// distance-based propagation model (the fast path every bundled
+// deterministic model provides); models that draw per-computation
+// randomness (shadowing) must stay serial, so the call declines when no
+// such model is available. Position functions of
+// attached radios must be safe for concurrent read-only sampling —
+// mobility.Vehicle's piecewise-trajectory queries are.
+func (c *Channel) EnableSharding(n int) {
+	if n < 2 || c.pipe != nil || c.propDist == nil {
+		return
+	}
+	p := &offerPipe{
+		shards: n,
+		stats:  make([]PipeShardStats, n),
+		prop:   c.propDist,
+	}
+	if runtime.GOMAXPROCS(0) > 1 || forceParallel {
+		p.start = make([]chan struct{}, n-1)
+		for w := 1; w < n; w++ {
+			ch := make(chan struct{}, 1)
+			p.start[w-1] = ch
+			go func(shard uint32) {
+				for range ch {
+					p.compute(shard)
+					p.wg.Done()
+				}
+			}(uint32(w))
+		}
+	}
+	c.pipe = p
+}
+
+// CloseSharding stops the shard workers and returns broadcast to the
+// serial offer loop. Idempotent; the run's accumulated PipeStats survive.
+func (c *Channel) CloseSharding() {
+	if c.pipe == nil {
+		return
+	}
+	for _, ch := range c.pipe.start {
+		close(ch)
+	}
+	c.pipeStats = c.pipe.stats
+	c.pipe = nil
+}
+
+// ShardingEnabled reports whether the staged offer pipeline is active.
+func (c *Channel) ShardingEnabled() bool { return c.pipe != nil }
+
+// PipeStats returns the per-shard pipeline counters (nil when sharding was
+// never enabled). The slice is indexed by shard.
+func (c *Channel) PipeStats() []PipeShardStats {
+	if c.pipe != nil {
+		return c.pipe.stats
+	}
+	return c.pipeStats
+}
+
+// mix64 is a splitmix64-style finalizer: grid cell keys pack the cell
+// coordinates into fixed bit fields, so reducing them modulo the shard
+// count without mixing would shard on the low coordinate alone.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// shardOf assigns a candidate slot to a shard by its current grid region,
+// so one shard's candidates cluster spatially. Unindexed radios (no grid
+// cell) spread by slot. The assignment is deterministic for a fixed shard
+// count — and, because commit order is candidate order regardless of
+// shard, it never influences output.
+func (c *Channel) shardOf(slot int32) uint32 {
+	n := uint64(c.pipe.shards)
+	if k, ok := c.idx.grid.CellKey(slot); ok {
+		return uint32(mix64(k) % n)
+	}
+	return uint32(uint64(slot) % n)
+}
+
+// broadcastStaged is broadcast's pipelined body: stage every candidate,
+// compute the pure half across shards, then commit arrivals serially in
+// candidate order — the exact tail of the serial offer loop, producing the
+// exact event sequence it would.
+func (c *Channel) broadcastStaged(src *Radio, cands []int32, srcPos geom.Vec2, p *packet.Packet, duration sim.Time, txFreq int) {
+	pp := c.pipe
+	stages := pp.stages[:0]
+	for _, slot := range cands {
+		dst := c.radios[slot]
+		if dst == src {
+			continue
+		}
+		stages = append(stages, offerStage{dst: dst, shard: c.shardOf(slot)})
+	}
+	pp.stages = stages
+	pp.srcPos, pp.txPowW = srcPos, src.Params.TxPowerW
+	if len(pp.start) == 0 {
+		// Single-CPU host: no workers to wake; compute every shard here.
+		for w := 0; w < pp.shards; w++ {
+			pp.compute(uint32(w))
+		}
+	} else {
+		pp.wg.Add(pp.shards - 1)
+		for _, ch := range pp.start {
+			ch <- struct{}{}
+		}
+		pp.compute(0)
+		pp.wg.Wait()
+	}
+
+	for i := range stages {
+		sg := &stages[i]
+		if !sg.heard {
+			continue
+		}
+		var ar *arrival
+		if n := len(c.arrFree); n > 0 {
+			ar = c.arrFree[n-1]
+			c.arrFree = c.arrFree[:n-1]
+		} else {
+			ar = &arrival{}
+		}
+		ap, owned := p, false
+		if sg.delay >= duration {
+			// Same pathological-geometry fallback as the serial offer: the
+			// first bit would arrive after the sender's end of transmission.
+			ap, owned = c.clonePacket(p), true
+		}
+		*ar = arrival{dst: sg.dst, p: ap, power: sg.power, duration: duration, freq: txFreq, owned: owned}
+		c.stats.Offered++
+		c.sched.ScheduleArgKind(sim.KindPHY, sg.delay, c.arriveFn, ar)
+	}
+}

@@ -1,0 +1,60 @@
+package phy
+
+import (
+	"fmt"
+	"testing"
+
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// benchBroadcastSharded is benchBroadcast's fixture with the staged offer
+// pipeline enabled: one transmission's full channel cost over the same
+// 1000-radio highway line, with the ~45-candidate carrier-sense disc
+// staged across shards and committed serially. shards=1 is the serial
+// offer loop the pipeline is judged against — the guard pins the staged
+// path's overhead on a single-CPU host (inline compute, no workers) to
+// within tolerance of it, and both paths to zero steady-state
+// allocations. Run under GOMAXPROCS=1 (make bench-shard does) so the
+// compute stage stays inline and timings are comparable across hosts.
+func benchBroadcastSharded(b *testing.B, shards int) {
+	const n = 1000
+	s := sim.New()
+	ch := NewChannel(s, DefaultPropagation())
+	ch.EnableCulling()
+	if shards > 1 {
+		ch.EnableSharding(shards)
+		defer ch.CloseSharding()
+	}
+	offChannel := func() int { return 1 }
+	for i := 0; i < n; i++ {
+		x := float64(i) * 25
+		r := NewRadio(packet.NodeID(i), s, fixedPos(x, 0), DefaultRadioParams())
+		r.SetMAC(nullMAC{})
+		if i != n/2 {
+			r.SetFreqFn(offChannel)
+		}
+		ch.Attach(r)
+		ch.SetMotion(r, staticMotion(x, 0))
+	}
+	src := ch.Radios()[n/2]
+	var pf packet.Factory
+	p := pf.New(packet.TypeCBR, 100, 0)
+	ch.broadcast(src, p, 0.001)
+	s.RunUntil(s.Now() + 1)
+	if shards > 1 && ch.PipeStats()[0].Batches == 0 {
+		b.Fatal("staged pipeline did not engage")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.broadcast(src, p, 0.001)
+		s.RunUntil(s.Now() + 1)
+	}
+}
+
+func BenchmarkBroadcastSharded(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) { benchBroadcastSharded(b, shards) })
+	}
+}

@@ -1,0 +1,180 @@
+package phy
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"vanetsim/internal/geom"
+	"vanetsim/internal/mobility"
+	"vanetsim/internal/packet"
+	"vanetsim/internal/sim"
+)
+
+// TestShardedBroadcastMatchesSerialWithMobility is the pipeline's
+// byte-identity property: the same traffic over a dense moving column —
+// vehicles braking and redirecting mid-run, crossing grid-cell (shard
+// region) boundaries while frames are in flight — must produce an
+// event-for-event identical delivery log at every shard count, because
+// staged computation commits in the serial offer loop's candidate order.
+func TestShardedBroadcastMatchesSerialWithMobility(t *testing.T) {
+	type delivery struct {
+		at    sim.Time
+		radio int
+		uid   uint64
+	}
+	run := func(shards int) ([]delivery, ChannelStats, []PipeShardStats) {
+		s := sim.New()
+		ch := NewChannel(s, DefaultPropagation())
+		ch.EnableCulling()
+		ch.EnableSharding(shards)
+		defer ch.CloseSharding()
+		var log []delivery
+		var pf packet.Factory
+		const n = 48
+		radios := make([]*Radio, 0, n+1)
+		attach := func(id int, pos PositionFn) *Radio {
+			r := NewRadio(packet.NodeID(id), s, pos, DefaultRadioParams())
+			idx := len(radios)
+			r.SetMAC(recorderFunc(func(p *packet.Packet, _ bool) {
+				log = append(log, delivery{at: s.Now(), radio: idx, uid: p.UID})
+			}))
+			ch.Attach(r)
+			radios = append(radios, r)
+			return r
+		}
+		// A dense column along +x: close enough that broadcasts stage tens
+		// of candidates, long enough to span several grid cells.
+		vehicles := make([]*mobility.Vehicle, 0, n)
+		for i := 0; i < n; i++ {
+			v := mobility.NewVehicle(packet.NodeID(i), s, geom.V(float64(i)*60, 0))
+			r := attach(i, v.Position)
+			ch.SetMotion(r, func() Motion {
+				pos, vel, acc := v.Motion()
+				return Motion{Pos: pos, Vel: vel, Acc: acc}
+			})
+			radio := r
+			v.OnMotionChange(func() { ch.MotionChanged(radio) })
+			vehicles = append(vehicles, v)
+		}
+		// One radio with no motion info: staged by slot, never by region.
+		attach(n, fixedPos(1500, 40))
+
+		for i, v := range vehicles {
+			v.SetDest(geom.V(1e6, 0), 30+float64(i%5))
+		}
+		for i, v := range vehicles {
+			if i%3 == 0 {
+				v := v
+				s.At(sim.Time(2+float64(i)/10), func() { v.Brake(6) })
+			}
+			if i%7 == 1 {
+				v := v
+				s.At(sim.Time(4+float64(i)/10), func() { v.SetDest(geom.V(0, 1e6), 25) })
+			}
+		}
+		for tick := 0; tick < 120; tick++ {
+			src := radios[(tick*7)%len(radios)]
+			at := sim.Time(float64(tick) * 0.09)
+			s.At(at, func() {
+				p := pf.New(packet.TypeCBR, 100, s.Now())
+				_ = src.Transmit(p, 0.001)
+			})
+		}
+		s.RunUntil(12)
+		return log, ch.Stats(), ch.PipeStats()
+	}
+
+	serial, serialStats, _ := run(1)
+	check := func(t *testing.T, shards int) {
+		{
+			got, gotStats, pipe := run(shards)
+			if gotStats != serialStats {
+				t.Fatalf("channel stats diverged: %d shards %+v vs serial %+v", shards, gotStats, serialStats)
+			}
+			if len(got) != len(serial) {
+				t.Fatalf("delivery counts diverged: %d shards %d vs serial %d", shards, len(got), len(serial))
+			}
+			for i := range got {
+				if got[i] != serial[i] {
+					t.Fatalf("delivery %d diverged: %d shards %+v vs serial %+v", i, shards, got[i], serial[i])
+				}
+			}
+			// The pipeline must actually have engaged, on every shard.
+			if len(pipe) != shards {
+				t.Fatalf("PipeStats reported %d shards, want %d", len(pipe), shards)
+			}
+			var staged uint64
+			for i, ps := range pipe {
+				if ps.Batches == 0 || ps.Batches != pipe[0].Batches {
+					t.Fatalf("shard %d ran %d batches (shard 0: %d); the pipeline never engaged or skipped a shard",
+						i, ps.Batches, pipe[0].Batches)
+				}
+				if ps.Heard > ps.Staged {
+					t.Fatalf("shard %d heard %d of %d staged", i, ps.Heard, ps.Staged)
+				}
+				staged += ps.Staged
+			}
+			if staged == 0 {
+				t.Fatal("no candidates were ever staged")
+			}
+		}
+	}
+
+	// Worker mode: forceParallel spawns the per-shard goroutines even on a
+	// single-CPU host, so -race observes the concurrent compute stage.
+	forceParallel = true
+	for _, shards := range []int{2, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("workers/shards=%d", shards), func(t *testing.T) { check(t, shards) })
+	}
+	forceParallel = false
+
+	// Inline mode: with GOMAXPROCS=1 EnableSharding spawns no workers and
+	// the simulation goroutine computes every shard itself; the committed
+	// event sequence must be the same one.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	for _, shards := range []int{2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("inline/shards=%d", shards), func(t *testing.T) { check(t, shards) })
+	}
+}
+
+// nonDistProp hides a model's distance fast path behind the plain
+// Propagation interface; the pipeline cannot stage such a model (compute
+// order would matter for stateful ones), so EnableSharding must decline.
+type nonDistProp struct{ Propagation }
+
+func TestEnableShardingRequiresDistPropagation(t *testing.T) {
+	s := sim.New()
+	ch := NewChannel(s, nonDistProp{DefaultPropagation()})
+	ch.EnableCulling()
+	ch.EnableSharding(4)
+	if ch.ShardingEnabled() {
+		t.Fatal("sharding enabled under a propagation model with no distance fast path")
+	}
+	if got := ch.PipeStats(); got != nil {
+		t.Fatalf("PipeStats = %v, want nil when sharding never enabled", got)
+	}
+}
+
+// TestCloseShardingKeepsStats pins the counter lifecycle: stats survive
+// CloseSharding (telemetry harvests after the run), and a closed channel
+// falls back to the serial loop rather than deadlocking on dead workers.
+func TestCloseShardingKeepsStats(t *testing.T) {
+	s := sim.New()
+	ch := NewChannel(s, DefaultPropagation())
+	ch.EnableCulling()
+	ch.EnableSharding(2)
+	if !ch.ShardingEnabled() {
+		t.Fatal("sharding did not enable")
+	}
+	ch.CloseSharding()
+	ch.CloseSharding() // idempotent
+	if ch.ShardingEnabled() {
+		t.Fatal("sharding still reported enabled after close")
+	}
+	if got := ch.PipeStats(); len(got) != 2 {
+		t.Fatalf("PipeStats after close = %v, want 2 shards of counters", got)
+	}
+}

@@ -26,6 +26,18 @@ type Propagation interface {
 	Range(txPower, thresh float64) float64
 }
 
+// DistPropagation is an optional fast path for models whose received power
+// depends on geometry only through the transmitter–receiver distance: the
+// channel computes that distance once per candidate (it also needs it for
+// the propagation delay) and passes it in, instead of having RxPower
+// re-derive it from the positions. Implementations must return bit-
+// identical results to RxPower evaluated at the same distance.
+type DistPropagation interface {
+	Propagation
+	// RxPowerDist is RxPower with the src–dst distance precomputed.
+	RxPowerDist(txPower, d float64) float64
+}
+
 // FreeSpace is the Friis free-space model: Pr = Pt·Gt·Gr·λ² / ((4πd)²·L).
 type FreeSpace struct {
 	// WavelengthM is the carrier wavelength λ in metres.
@@ -36,12 +48,16 @@ type FreeSpace struct {
 	SystemLoss float64
 }
 
-var _ Propagation = FreeSpace{}
+var _ DistPropagation = FreeSpace{}
 
 // RxPower implements Propagation. At zero distance the transmit power is
 // returned unattenuated.
 func (m FreeSpace) RxPower(txPower float64, src, dst geom.Vec2) float64 {
-	d := src.Dist(dst)
+	return m.RxPowerDist(txPower, src.Dist(dst))
+}
+
+// RxPowerDist implements DistPropagation.
+func (m FreeSpace) RxPowerDist(txPower, d float64) float64 {
 	if d == 0 {
 		return txPower
 	}
@@ -66,7 +82,7 @@ type TwoRayGround struct {
 	HeightTxM, HeightRxM float64
 }
 
-var _ Propagation = TwoRayGround{}
+var _ DistPropagation = TwoRayGround{}
 
 // Crossover returns the distance at which the two-ray term takes over from
 // free space.
@@ -76,9 +92,13 @@ func (m TwoRayGround) Crossover() float64 {
 
 // RxPower implements Propagation.
 func (m TwoRayGround) RxPower(txPower float64, src, dst geom.Vec2) float64 {
-	d := src.Dist(dst)
+	return m.RxPowerDist(txPower, src.Dist(dst))
+}
+
+// RxPowerDist implements DistPropagation.
+func (m TwoRayGround) RxPowerDist(txPower, d float64) float64 {
 	if d < m.Crossover() {
-		return m.FreeSpace.RxPower(txPower, src, dst)
+		return m.FreeSpace.RxPowerDist(txPower, d)
 	}
 	num := txPower * m.GainTx * m.GainRx * m.HeightTxM * m.HeightTxM * m.HeightRxM * m.HeightRxM
 	return num / (d * d * d * d * m.SystemLoss)

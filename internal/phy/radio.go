@@ -249,6 +249,20 @@ func (r *Radio) releaseReception(rec *reception) {
 	r.recFree = append(r.recFree, rec)
 }
 
+// ReleaseFrame returns a delivered frame to the channel's clone pool.
+// Every delivered frame is the receiver's private clone, so whichever
+// layer finally consumes it may release it — the MAC for frames it
+// discards in RecvFromPhy (overheard unicasts, control frames,
+// duplicates, corrupted frames), the network layer for routing-control
+// packets its agent has fully digested. The releaser asserts that no
+// reference to the packet, its TCP header, or its payload escaped: all
+// three allocations are recycled into future clones.
+func (r *Radio) ReleaseFrame(p *packet.Packet) {
+	if r.ch != nil {
+		r.ch.releaseClone(p)
+	}
+}
+
 // CarrierBusy reports whether the medium appears busy to this radio: it is
 // transmitting, locked onto a frame, or sensing energy above the
 // carrier-sense threshold.
@@ -299,8 +313,12 @@ func (r *Radio) Transmit(p *packet.Packet, duration sim.Time) error {
 }
 
 // frameArrives is called by the channel when the first bit of a frame
-// reaches this radio (power already above CSThreshW).
-func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time) {
+// reaches this radio (power already above CSThreshW). owned reports
+// whether p is this arrival's private clone; otherwise p is the
+// transmitter's packet, borrowed for the duration of this event only —
+// loss paths may read it (span metadata), but locking onto the frame must
+// clone it first.
+func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time, owned bool) {
 	r.stats.RxArrivals++
 	if r.down {
 		// A dead radio hears nothing: no carrier sense, no interference
@@ -318,7 +336,7 @@ func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time)
 	}
 
 	if r.Params.SINRMode {
-		r.arriveSINR(p, power, duration, end)
+		r.arriveSINR(p, power, duration, end, owned)
 		return
 	}
 
@@ -337,7 +355,12 @@ func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time)
 			r.rx.corrupted = true
 		}
 	case r.rx == nil:
-		// Lock onto the frame; deliver when the last bit arrives.
+		// Lock onto the frame; deliver when the last bit arrives. A
+		// borrowed packet is cloned here — the one moment the radio keeps a
+		// reference past the arrival event.
+		if !owned {
+			p = r.ch.clonePacket(p)
+		}
 		rec := r.newReception(p, power, end)
 		r.rx = rec
 		r.state = Receiving
@@ -361,8 +384,11 @@ func (r *Radio) frameArrives(p *packet.Packet, power float64, duration sim.Time)
 // arriveSINR handles an arrival under the aggregate-interference model:
 // decodable frames lock an idle receiver; everything else accumulates
 // into the interference level, and the verdict falls at reception end.
-func (r *Radio) arriveSINR(p *packet.Packet, power float64, duration sim.Time, end sim.Time) {
+func (r *Radio) arriveSINR(p *packet.Packet, power float64, duration sim.Time, end sim.Time, owned bool) {
 	if r.state != Transmitting && r.rx == nil && power >= r.Params.RxThreshW {
+		if !owned {
+			p = r.ch.clonePacket(p)
+		}
 		rec := r.newReception(p, power, end)
 		rec.maxInterfW = r.interfW
 		r.rx = rec
@@ -446,6 +472,12 @@ func (r *Radio) extendBusy(t sim.Time) {
 		return
 	}
 	r.busyUntil = t
+	// Each overlapping arrival pushes the deadline back; postponing the
+	// pending timer in place avoids a heap remove + re-insert per frame.
+	if tm, ok := r.idleTimer.Postpone(t); ok {
+		r.idleTimer = tm
+		return
+	}
 	r.idleTimer.Cancel()
 	r.idleTimer = r.sched.AtKind(sim.KindPHY, t, r.idleFn)
 }

@@ -53,6 +53,13 @@ type DenseHighwayConfig struct {
 	BeaconFraction float64
 	BeaconSize     int
 	BeaconRateBps  float64
+	// BeaconJitter desynchronises the beacon sources' send intervals: each
+	// source's interval is scaled by a deterministic per-vehicle factor in
+	// [1-BeaconJitter, 1+BeaconJitter), drawn from the run seed's
+	// dense/beacon stream. 0 (the default) keeps every source on the exact
+	// nominal interval — and, drawing nothing extra, keeps the run
+	// byte-identical to configs predating the knob. Must be in [0, 1).
+	BeaconJitter float64
 
 	TDMARateBps float64  // TDMA radio rate override (0 = package default)
 	ReactionS   sim.Time // driver reaction after the indication arrives
@@ -66,6 +73,10 @@ type DenseHighwayConfig struct {
 	// DisableCulling runs the same workload on the channel's full-receiver
 	// scan, for culled-vs-scan equivalence tests and scaling benchmarks.
 	DisableCulling bool
+	// Shards is the intra-run shard count for the channel's staged offer
+	// pipeline (see StackConfig.Shards). Exact: any value, including 0/1
+	// (serial), produces a byte-identical run.
+	Shards int
 }
 
 // DefaultDenseHighway returns an n-vehicle four-lane run on the given MAC:
@@ -147,10 +158,13 @@ func RunDenseHighway(cfg DenseHighwayConfig) (*DenseHighwayResult, error) {
 		return nil, fmt.Errorf("scenario: dense highway needs platoons of at least two, got %d", cfg.PlatoonLen)
 	case cfg.BeaconFraction < 0 || cfg.BeaconFraction > 1:
 		return nil, fmt.Errorf("scenario: beacon fraction must be in [0,1], got %v", cfg.BeaconFraction)
+	case cfg.BeaconJitter < 0 || cfg.BeaconJitter >= 1:
+		return nil, fmt.Errorf("scenario: beacon jitter must be in [0,1), got %v", cfg.BeaconJitter)
 	}
 	stack := DefaultStackConfig(cfg.MAC)
 	stack.QueueCap = cfg.QueueCap
 	stack.DisableCulling = cfg.DisableCulling
+	stack.Shards = cfg.Shards
 	if cfg.TDMARateBps > 0 {
 		stack.TDMA.DataRateBps = cfg.TDMARateBps
 	}
@@ -190,6 +204,7 @@ func RunDenseHighway(cfg DenseHighwayConfig) (*DenseHighwayResult, error) {
 		stack.Spans = span.NewRecorder()
 	}
 	w := NewWorld(stack, cfg.Seed)
+	defer w.Close()
 	s := w.Sched
 	wallStart := time.Now()
 
@@ -332,7 +347,14 @@ func RunDenseHighway(cfg DenseHighwayConfig) (*DenseHighwayResult, error) {
 				sink := app.NewUDPSink(s, nodeOf[dst].Net, beaconPort+1)
 				sink.SetSpans(stack.Spans)
 				beaconPort += 2
-				gen := app.NewCBR(s, src, cfg.BeaconSize, cfg.BeaconRateBps)
+				rate := cfg.BeaconRateBps
+				if cfg.BeaconJitter > 0 {
+					// Per-vehicle interval scale in [1-j, 1+j), as an extra
+					// draw taken only when jitter is on so the zero-jitter
+					// stream — and with it the pinned goldens — is untouched.
+					rate = cfg.BeaconRateBps / (1 + cfg.BeaconJitter*(2*rng.Float64()-1))
+				}
+				gen := app.NewCBR(s, src, cfg.BeaconSize, rate)
 				phase := sim.Time(rng.Float64() * float64(interval))
 				s.At(phase, gen.Start)
 				beaconSources = append(beaconSources, src)
@@ -348,7 +370,9 @@ func RunDenseHighway(cfg DenseHighwayConfig) (*DenseHighwayResult, error) {
 			dp.platoon.Lead().Brake(cfg.DecelMS2)
 		}
 	})
-	s.RunUntil(cfg.Duration)
+	// Epoch batching drains each equal-timestamp cohort in one structural
+	// heap repair — byte-for-byte the execution RunUntil produces.
+	s.RunEpochs(cfg.Duration)
 
 	res := &DenseHighwayResult{Config: cfg, World: w, Platoons: len(platoons)}
 	for _, dp := range platoons {

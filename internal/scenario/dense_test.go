@@ -121,6 +121,8 @@ func TestDenseHighwayConfigErrors(t *testing.T) {
 		func(c *scenario.DenseHighwayConfig) { c.Lanes = 0 },
 		func(c *scenario.DenseHighwayConfig) { c.PlatoonLen = 1 },
 		func(c *scenario.DenseHighwayConfig) { c.BeaconFraction = 1.5 },
+		func(c *scenario.DenseHighwayConfig) { c.BeaconJitter = 1 },
+		func(c *scenario.DenseHighwayConfig) { c.BeaconJitter = -0.1 },
 		func(c *scenario.DenseHighwayConfig) { c.Vehicles = 4; c.Lanes = 3 }, // a lane gets 1 vehicle
 	}
 	for i, mutate := range cases {

@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+)
+
+// Conservative sharded execution: a ShardGroup partitions a simulation
+// into S domains, each with its own Scheduler and RNG stream, and runs
+// them in parallel under the classic time-window synchronisation protocol.
+// The group repeatedly finds the globally earliest pending event at T0 and
+// lets every shard execute its events in the window [T0, T0+lookahead)
+// concurrently; because any cross-shard interaction must be sent with at
+// least the lookahead's delay, nothing a shard does inside the window can
+// affect another shard within it. At the window barrier the exchanged
+// events are merged into their target schedulers in a deterministic order
+// — (timestamp, source shard, source sequence) — so a run's execution is a
+// pure function of the configuration regardless of how goroutines
+// interleave. With one shard the group degenerates to the plain serial
+// engine: no goroutines, no barriers, no windows, bit-for-bit the
+// behaviour of calling Scheduler.RunUntil directly.
+//
+// The lookahead is the protocol's correctness contract, enforced at the
+// API: for radio propagation it is the minimum propagation delay plus the
+// minimum frame airtime — the soonest a transmission decided in one region
+// can alter what a receiver in another region observes.
+
+// CrossEvent is one event routed between shards: fn(arg) tagged kind, to
+// fire at absolute time at on the destination shard.
+type CrossEvent struct {
+	At   Time
+	Kind EventKind
+	Fn   func(any)
+	Arg  any
+}
+
+// crossMsg is a CrossEvent stamped with its deterministic merge key.
+type crossMsg struct {
+	CrossEvent
+	src    int
+	srcSeq uint64
+}
+
+// inbox is a shard's bounded cross-shard receive queue. The configured
+// capacity is preallocated so steady-state exchange is allocation-free;
+// traffic beyond it still arrives (dropping simulation events is never
+// acceptable) but grows the slice and is counted, so a miscalibrated
+// bound is visible in the stats rather than silently expensive.
+type inbox struct {
+	mu       sync.Mutex
+	msgs     []crossMsg
+	overflow uint64
+	high     int
+}
+
+func (ib *inbox) put(m crossMsg) {
+	ib.mu.Lock()
+	if len(ib.msgs) == cap(ib.msgs) {
+		ib.overflow++
+	}
+	ib.msgs = append(ib.msgs, m)
+	if len(ib.msgs) > ib.high {
+		ib.high = len(ib.msgs)
+	}
+	ib.mu.Unlock()
+}
+
+// ShardStats is one shard's execution profile, for telemetry.
+type ShardStats struct {
+	Executed       uint64 // events fired by the shard's scheduler
+	MaxPending     int    // shard heap high-water mark
+	Windows        uint64 // synchronisation windows participated in
+	BarrierWaits   uint64 // windows in which the shard had nothing to run
+	CrossSent      uint64 // events sent to other shards
+	CrossRecv      uint64 // events received from other shards
+	InboxHighWater int    // receive-queue occupancy high-water mark
+	InboxOverflow  uint64 // receives beyond the configured inbox bound
+}
+
+// Shard is one domain of a ShardGroup: a scheduler, an RNG stream forked
+// from the group seed by shard label (so streams are stable no matter how
+// radios are assigned), and a cross-shard mailbox.
+type Shard struct {
+	id    int
+	group *ShardGroup
+	sched *Scheduler
+	rng   *RNG
+	inbox inbox
+
+	sendSeq      uint64 // numbers outgoing messages for the barrier merge
+	windows      uint64
+	barrierWaits uint64
+	crossSent    uint64
+	crossRecv    uint64
+}
+
+// ID returns the shard's index within its group.
+func (sh *Shard) ID() int { return sh.id }
+
+// Sched returns the shard's scheduler. Scheduling on it is only legal
+// from the shard's own events (or between RunUntil calls).
+func (sh *Shard) Sched() *Scheduler { return sh.sched }
+
+// RNG returns the shard's random stream.
+func (sh *Shard) RNG() *RNG { return sh.rng }
+
+// Send routes an event to another shard (or this one), to fire after
+// delay. The conservative contract is enforced here: delay must be at
+// least the group's lookahead, otherwise the destination shard might
+// already have executed past the delivery time inside the current window.
+// In a single-shard group Send schedules directly, preserving the serial
+// engine's exact behaviour.
+func (sh *Shard) Send(dst int, delay Time, kind EventKind, fn func(any), arg any) {
+	g := sh.group
+	if delay < g.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard Send with delay %v below lookahead %v", delay, g.lookahead))
+	}
+	if len(g.shards) == 1 {
+		sh.sched.ScheduleArgKind(kind, delay, fn, arg)
+		return
+	}
+	sh.crossSent++
+	seq := sh.sendSeq
+	sh.sendSeq++
+	g.shards[dst].inbox.put(crossMsg{
+		CrossEvent: CrossEvent{At: sh.sched.Now() + delay, Kind: kind, Fn: fn, Arg: arg},
+		src:        sh.id,
+		srcSeq:     seq,
+	})
+}
+
+// ShardGroupConfig configures NewShardGroup.
+type ShardGroupConfig struct {
+	Shards    int    // number of domains; 1 is the serial engine
+	Lookahead Time   // minimum cross-shard latency; must be > 0 for Shards > 1
+	InboxCap  int    // per-shard inbox preallocation (default 1024)
+	Seed      uint64 // root of the per-shard RNG streams
+}
+
+// ShardGroup coordinates conservative parallel execution across shards.
+type ShardGroup struct {
+	shards    []*Shard
+	lookahead Time
+	now       Time
+}
+
+// NewShardGroup builds a group of cfg.Shards domains.
+func NewShardGroup(cfg ShardGroupConfig) *ShardGroup {
+	if cfg.Shards < 1 {
+		panic("sim: ShardGroup needs at least one shard")
+	}
+	if cfg.Shards > 1 && cfg.Lookahead <= 0 {
+		panic("sim: multi-shard ShardGroup needs a positive lookahead")
+	}
+	cap := cfg.InboxCap
+	if cap <= 0 {
+		cap = 1024
+	}
+	g := &ShardGroup{lookahead: cfg.Lookahead}
+	root := NewRNG(cfg.Seed)
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &Shard{
+			id:    i,
+			group: g,
+			sched: New(),
+			rng:   root.Fork(fmt.Sprintf("shard-%d", i)),
+		}
+		sh.inbox.msgs = make([]crossMsg, 0, cap)
+		g.shards = append(g.shards, sh)
+	}
+	return g
+}
+
+// Shards returns the number of domains.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Shard returns domain i.
+func (g *ShardGroup) Shard(i int) *Shard { return g.shards[i] }
+
+// Lookahead returns the group's conservative latency bound.
+func (g *ShardGroup) Lookahead() Time { return g.lookahead }
+
+// Now returns the group's committed horizon: every shard has executed all
+// its events strictly before this time.
+func (g *ShardGroup) Now() Time { return g.now }
+
+// Stats returns each shard's execution profile. Call between RunUntil
+// invocations.
+func (g *ShardGroup) Stats() []ShardStats {
+	out := make([]ShardStats, len(g.shards))
+	for i, sh := range g.shards {
+		out[i] = ShardStats{
+			Executed:       sh.sched.Executed(),
+			MaxPending:     sh.sched.MaxPending(),
+			Windows:        sh.windows,
+			BarrierWaits:   sh.barrierWaits,
+			CrossSent:      sh.crossSent,
+			CrossRecv:      sh.crossRecv,
+			InboxHighWater: sh.inbox.high,
+			InboxOverflow:  sh.inbox.overflow,
+		}
+	}
+	return out
+}
+
+// RunUntil executes every shard's events with timestamps at or before
+// deadline and advances all clocks to the deadline. Multi-shard groups
+// run one goroutine per shard inside each synchronisation window.
+func (g *ShardGroup) RunUntil(deadline Time) {
+	if len(g.shards) == 1 {
+		g.shards[0].sched.RunUntil(deadline)
+		if deadline > g.now {
+			g.now = deadline
+		}
+		return
+	}
+
+	type windowSpec struct {
+		end  Time // exclusive bound
+		incl Time // inclusive bound (the deadline on the last window)
+	}
+	start := make([]chan windowSpec, len(g.shards))
+	var wg sync.WaitGroup
+	var done sync.WaitGroup
+	for i, sh := range g.shards {
+		start[i] = make(chan windowSpec)
+		wg.Add(1)
+		go func(sh *Shard, in <-chan windowSpec) {
+			defer wg.Done()
+			for w := range in {
+				sh.runWindow(w.end, w.incl)
+				done.Done()
+			}
+		}(sh, start[i])
+	}
+
+	for {
+		t0 := Forever
+		stopped := false
+		for _, sh := range g.shards {
+			if at, ok := sh.sched.NextAt(); ok && at < t0 {
+				t0 = at
+			}
+			if sh.sched.Stopped() {
+				stopped = true
+			}
+		}
+		if stopped || t0 > deadline {
+			break
+		}
+		end := t0 + g.lookahead
+		if math.IsInf(float64(end), 0) || end > Forever {
+			end = Forever
+		}
+		spec := windowSpec{end: end, incl: -1}
+		if end > deadline {
+			// Final window: include events exactly at the deadline.
+			spec = windowSpec{end: deadline, incl: deadline}
+		}
+		done.Add(len(g.shards))
+		for _, ch := range start {
+			ch <- spec
+		}
+		done.Wait()
+		g.mergeInboxes()
+		limit := spec.end
+		if spec.incl >= 0 {
+			limit = spec.incl
+		}
+		for _, sh := range g.shards {
+			if !sh.sched.Stopped() {
+				sh.sched.AdvanceTo(limit)
+			}
+		}
+	}
+	for _, ch := range start {
+		close(ch)
+	}
+	wg.Wait()
+
+	for _, sh := range g.shards {
+		if !sh.sched.Stopped() && sh.sched.now < deadline {
+			sh.sched.now = deadline
+		}
+	}
+	if deadline > g.now {
+		g.now = deadline
+	}
+}
+
+// runWindow executes the shard's events with at < end (plus at == incl
+// when incl >= 0) using the epoch drain, and keeps the barrier statistics.
+func (sh *Shard) runWindow(end, incl Time) {
+	sc := sh.sched
+	sh.windows++
+	fired := 0
+	for {
+		at, ok := sc.NextAt()
+		if !ok || sc.Stopped() || at > incl && at >= end {
+			break
+		}
+		fired += sc.DrainEpoch()
+	}
+	if fired == 0 {
+		sh.barrierWaits++
+	}
+}
+
+// mergeInboxes drains every shard's mailbox into its scheduler in the
+// deterministic (timestamp, source shard, source sequence) order. Runs on
+// the coordinator between windows, so no locks are contended.
+func (g *ShardGroup) mergeInboxes() {
+	for _, sh := range g.shards {
+		ib := &sh.inbox
+		ib.mu.Lock()
+		msgs := ib.msgs
+		ib.mu.Unlock()
+		if len(msgs) == 0 {
+			continue
+		}
+		slices.SortFunc(msgs, func(a, b crossMsg) int {
+			switch {
+			case a.At != b.At:
+				if a.At < b.At {
+					return -1
+				}
+				return 1
+			case a.src != b.src:
+				return a.src - b.src
+			case a.srcSeq < b.srcSeq:
+				return -1
+			default:
+				return 1
+			}
+		})
+		for i := range msgs {
+			m := &msgs[i]
+			sh.sched.AtArgKind(m.Kind, m.At, m.Fn, m.Arg)
+			m.Fn, m.Arg = nil, nil
+		}
+		sh.crossRecv += uint64(len(msgs))
+		ib.mu.Lock()
+		ib.msgs = ib.msgs[:0]
+		ib.mu.Unlock()
+	}
+}
