@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test verify check bench bench-obs bench-parallel bench-hot bench-guard bench-dense bench-shard fuzz fuzz-nightly lint trace
+# All build artifacts land in a per-checkout bin directory (gitignored),
+# never in /tmp with fixed names: concurrent checkouts on one machine
+# must not clobber each other's binaries or bench transcripts.
+BIN := $(CURDIR)/bin
+
+.PHONY: build test verify check bench bench-obs bench-parallel bench-hot bench-guard bench-dense bench-shard bench-service fuzz fuzz-nightly lint trace
 
 build:
 	$(GO) build ./...
@@ -21,13 +26,13 @@ verify:
 # gates. Any recorded violation is a non-zero exit.
 check:
 	$(GO) test -tags=checkall ./...
-	$(GO) build -o /tmp/vanetsim-check ./cmd/vanetsim
-	/tmp/vanetsim-check -check -trial 1 > /dev/null
-	/tmp/vanetsim-check -check -trial 2 > /dev/null
-	/tmp/vanetsim-check -check -trial 3 > /dev/null
-	/tmp/vanetsim-check -check -trial 0 -mac 802.11 -packet 500 > /dev/null
-	$(GO) build -o /tmp/eblreport-check ./cmd/eblreport
-	/tmp/eblreport-check -check -degrade > /dev/null
+	$(GO) build -o $(BIN)/vanetsim-check ./cmd/vanetsim
+	$(BIN)/vanetsim-check -check -trial 1 > /dev/null
+	$(BIN)/vanetsim-check -check -trial 2 > /dev/null
+	$(BIN)/vanetsim-check -check -trial 3 > /dev/null
+	$(BIN)/vanetsim-check -check -trial 0 -mac 802.11 -packet 500 > /dev/null
+	$(GO) build -o $(BIN)/eblreport-check ./cmd/eblreport
+	$(BIN)/eblreport-check -check -degrade > /dev/null
 
 # bench regenerates the paper's evaluation as benchmark metrics.
 bench:
@@ -57,9 +62,9 @@ bench-hot:
 # benchmarks and judge them against BENCH_PR3.json with cmd/benchguard
 # (any alloc/op regression, or >20% ns/op by default, fails).
 bench-guard:
-	$(GO) build -o /tmp/benchguard ./cmd/benchguard
-	$(MAKE) --no-print-directory bench-hot | tee /tmp/bench-hot.txt
-	/tmp/benchguard -baseline BENCH_PR3.json -input /tmp/bench-hot.txt
+	$(GO) build -o $(BIN)/benchguard ./cmd/benchguard
+	$(MAKE) --no-print-directory bench-hot | tee $(BIN)/bench-hot.txt
+	$(BIN)/benchguard -baseline BENCH_PR3.json -input $(BIN)/bench-hot.txt
 
 # bench-dense is the broadcast-scaling gate: per-transmission PHY cost
 # over a dense highway line, spatial-index culling against the all-radios
@@ -67,9 +72,9 @@ bench-guard:
 # BENCH_DENSE.json. The culled path must stay allocation-free, ~flat in
 # the fleet size, and >=5x under the scan at n=1000.
 bench-dense:
-	$(GO) build -o /tmp/benchguard ./cmd/benchguard
-	$(GO) test -bench='BenchmarkBroadcast(Scan|Culled|CulledMoving)' -benchmem -benchtime=1s -run='^$$' ./internal/phy | tee /tmp/bench-dense.txt
-	/tmp/benchguard -baseline BENCH_DENSE.json -input /tmp/bench-dense.txt
+	$(GO) build -o $(BIN)/benchguard ./cmd/benchguard
+	$(GO) test -bench='BenchmarkBroadcast(Scan|Culled|CulledMoving)' -benchmem -benchtime=1s -run='^$$' ./internal/phy | tee $(BIN)/bench-dense.txt
+	$(BIN)/benchguard -baseline BENCH_DENSE.json -input $(BIN)/bench-dense.txt
 
 # bench-shard is the staged-offer-pipeline gate: the sharded broadcast
 # path and the dense scenario at -shards 4, judged against
@@ -80,30 +85,43 @@ bench-dense:
 # equality across shard counts is a test, not a benchmark — see
 # TestDenseHighwayShardInvariance.
 bench-shard:
-	$(GO) build -o /tmp/benchguard ./cmd/benchguard
-	GOMAXPROCS=1 $(GO) test -bench='BenchmarkBroadcastSharded' -benchmem -benchtime=1s -run='^$$' ./internal/phy | tee /tmp/bench-shard.txt
-	GOMAXPROCS=1 $(GO) test -bench='BenchmarkDenseShards' -benchmem -benchtime=2x -run='^$$' . | tee -a /tmp/bench-shard.txt
-	/tmp/benchguard -baseline BENCH_SHARD.json -input /tmp/bench-shard.txt
+	$(GO) build -o $(BIN)/benchguard ./cmd/benchguard
+	GOMAXPROCS=1 $(GO) test -bench='BenchmarkBroadcastSharded' -benchmem -benchtime=1s -run='^$$' ./internal/phy | tee $(BIN)/bench-shard.txt
+	GOMAXPROCS=1 $(GO) test -bench='BenchmarkDenseShards' -benchmem -benchtime=2x -run='^$$' . | tee -a $(BIN)/bench-shard.txt
+	$(BIN)/benchguard -baseline BENCH_SHARD.json -input $(BIN)/bench-shard.txt
+
+# bench-service is the vanetsimd service gate: the canonical-hash cache
+# key (pinned allocation-free — every request pays it before the cache
+# is consulted), the disk cache's hit path, and the full HTTP cache-hit
+# round trip, judged against BENCH_SERVICE.json.
+bench-service:
+	$(GO) build -o $(BIN)/benchguard ./cmd/benchguard
+	$(GO) test -bench='BenchmarkCanonicalHash$$' -benchmem -benchtime=2s -run='^$$' ./internal/service/canon | tee $(BIN)/bench-service.txt
+	$(GO) test -bench='Benchmark(CacheGet|ServeCachedResult)$$' -benchmem -benchtime=1s -run='^$$' ./internal/service | tee -a $(BIN)/bench-service.txt
+	$(BIN)/benchguard -baseline BENCH_SERVICE.json -input $(BIN)/bench-service.txt
 
 # trace runs the quickstart example (trial 1) with causal span tracing
 # armed and writes a Chrome trace-event file: open trial1-spans.json in
 # chrome://tracing or https://ui.perfetto.dev to browse every packet's
 # lifecycle per node. The NDJSON twin lands next to it for jq/scripting.
 trace:
-	$(GO) build -o /tmp/vanetsim-trace ./cmd/vanetsim
-	/tmp/vanetsim-trace -trial 1 -spans trial1-spans.ndjson -spans-chrome trial1-spans.json > /dev/null
+	$(GO) build -o $(BIN)/vanetsim-trace ./cmd/vanetsim
+	$(BIN)/vanetsim-trace -trial 1 -spans trial1-spans.ndjson -spans-chrome trial1-spans.json > /dev/null
 	@echo "wrote trial1-spans.json (chrome://tracing) and trial1-spans.ndjson"
 
 # fuzz exercises the trace-line round trip for a short burst.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseLine -fuzztime=30s ./internal/trace
 
-# fuzz-nightly is the scheduled CI fuzz budget: the trace codec and the
-# full-stack topology-conservation target, a couple of minutes each.
+# fuzz-nightly is the scheduled CI fuzz budget: the trace codec, the
+# full-stack topology-conservation target, and the service's JSON config
+# canonicaliser (hash stable under field reordering and default elision),
+# a couple of minutes each.
 FUZZTIME ?= 2m
 fuzz-nightly:
 	$(GO) test -run='^$$' -fuzz=FuzzParseLine -fuzztime=$(FUZZTIME) ./internal/trace
 	$(GO) test -tags=checkall -run='^$$' -fuzz=FuzzTopologyConservation -fuzztime=$(FUZZTIME) ./internal/scenario
+	$(GO) test -run='^$$' -fuzz=FuzzCanonicalRoundTrip -fuzztime=$(FUZZTIME) ./internal/service/canon
 
 # lint runs the static analyzers CI uses; tools are expected on PATH
 # (CI installs them, see .github/workflows/ci.yml).

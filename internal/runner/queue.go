@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue errors.
+var (
+	// ErrQueueFull is returned by Submit when the backlog is at capacity;
+	// callers should shed load (the service answers 503).
+	ErrQueueFull = errors.New("runner: queue full")
+	// ErrQueueClosed is returned by Submit after Close has begun.
+	ErrQueueClosed = errors.New("runner: queue closed")
+)
+
+// Queue is the daemon-shaped counterpart to Each: a long-lived
+// bounded-concurrency executor that accepts jobs over time instead of
+// a batch up front. A fixed pool of workers drains a bounded backlog;
+// Submit never blocks (it sheds load with ErrQueueFull), and Close
+// drains — it stops admissions, runs everything already accepted, and
+// waits for the workers to exit. That drain is the service's graceful
+// shutdown path: every in-flight simulation finishes and lands in the
+// result cache before the process exits.
+//
+// Jobs are plain closures that own their results; ordering guarantees
+// are the caller's concern (the service keys everything by content
+// hash, so execution order is irrelevant there).
+type Queue struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	closed  bool
+	pending int // accepted but not yet finished
+}
+
+// NewQueue starts a queue with the given worker count and backlog
+// capacity. workers <= 0 defaults to 1. The backlog is floored at the
+// worker count so an idle worker can never lose the race against a
+// non-blocking Submit; depth <= workers therefore means "refuse
+// anything the workers can't pick up immediately".
+func NewQueue(workers, depth int) *Queue {
+	if workers <= 0 {
+		workers = 1
+	}
+	if depth < workers {
+		depth = workers
+	}
+	q := &Queue{jobs: make(chan func(), depth)}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for job := range q.jobs {
+				job()
+				q.mu.Lock()
+				q.pending--
+				q.mu.Unlock()
+			}
+		}()
+	}
+	return q
+}
+
+// Submit enqueues job for execution. It returns immediately:
+// ErrQueueFull when the backlog is at capacity, ErrQueueClosed once
+// Close has begun, nil when the job was accepted (it will run even if
+// Close is called right after).
+func (q *Queue) Submit(job func()) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	select {
+	case q.jobs <- job:
+		q.pending++
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Depth returns the number of accepted jobs not yet finished (queued
+// plus executing).
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending
+}
+
+// Close stops admissions, drains every accepted job, and waits for the
+// workers to exit. It is idempotent; concurrent Submits during Close
+// are refused with ErrQueueClosed.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	close(q.jobs)
+	q.mu.Unlock()
+	q.wg.Wait()
+}

@@ -1,0 +1,190 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapErrorMidFlight covers the cancellation path the service's
+// shutdown relies on: a job fails while others are still executing.
+// Map must return the failing error, dispatch no new jobs after the
+// reducer observes it, and — critically — not return until every job
+// that already started has finished (no goroutine left running a
+// simulation against freed state).
+func TestMapErrorMidFlight(t *testing.T) {
+	boom := errors.New("job 6 failed")
+	var started, finished atomic.Int64
+	out, err := Map(Pool{Workers: 4}, 512, func(i int) (int, error) {
+		started.Add(1)
+		defer finished.Add(1)
+		time.Sleep(time.Millisecond)
+		if i == 6 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("Map = %v, %v; want nil slice and job 6's error", out, err)
+	}
+	if s, f := started.Load(), finished.Load(); s != f {
+		t.Fatalf("Map returned with %d jobs started but only %d finished", s, f)
+	}
+	// Dispatch must stop near the failure: with 1ms jobs the reducer
+	// observes job 6's error within a few batches, nowhere near the 512
+	// submitted.
+	if s := started.Load(); s > 100 {
+		t.Fatalf("%d jobs dispatched after job 6 failed", s)
+	}
+}
+
+// TestEachConsumerAbandonsResults models a consumer that walks away
+// mid-stream (a client disconnecting from the daemon's progress
+// stream): the collector bails with an error while slow jobs are still
+// queued. Each must stop dispatching, let in-flight jobs finish, and
+// return without deadlocking on the results nobody will collect.
+func TestEachConsumerAbandonsResults(t *testing.T) {
+	abandoned := errors.New("consumer gone")
+	var started, finished atomic.Int64
+	err := Each(Pool{Workers: 4}, 512,
+		func(i int) (int, error) {
+			started.Add(1)
+			defer finished.Add(1)
+			time.Sleep(time.Millisecond)
+			return i, nil
+		},
+		func(i, v int) error {
+			if i == 2 {
+				return abandoned
+			}
+			return nil
+		})
+	if !errors.Is(err, abandoned) {
+		t.Fatalf("err = %v, want the consumer's abandon error", err)
+	}
+	if s, f := started.Load(), finished.Load(); s != f {
+		t.Fatalf("Each returned with %d jobs started but only %d finished", s, f)
+	}
+	// Dispatch must have stopped near the abandon point: 4 workers can
+	// each have grabbed at most a handful of 1ms jobs before the
+	// reducer's error propagated, nowhere near the 512 submitted.
+	if s := started.Load(); s > 100 {
+		t.Fatalf("%d jobs dispatched after the consumer abandoned at index 2", s)
+	}
+}
+
+func TestQueueRunsSubmittedJobs(t *testing.T) {
+	q := NewQueue(4, 16)
+	var sum atomic.Int64
+	for i := 1; i <= 10; i++ {
+		i := i
+		if err := q.Submit(func() { sum.Add(int64(i)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if got := sum.Load(); got != 55 {
+		t.Fatalf("sum after drain = %d, want 55", got)
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("Depth after drain = %d, want 0", d)
+	}
+}
+
+// TestQueueShedsLoadWhenFull pins the non-blocking admission contract:
+// with every worker busy and the backlog full, Submit fails fast with
+// ErrQueueFull instead of stalling the HTTP handler that called it.
+func TestQueueShedsLoadWhenFull(t *testing.T) {
+	q := NewQueue(1, 2)
+	release := make(chan struct{})
+	busy := make(chan struct{})
+	if err := q.Submit(func() { close(busy); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-busy // the single worker is now parked
+	for i := 0; i < 2; i++ {
+		if err := q.Submit(func() {}); err != nil {
+			t.Fatalf("backlog slot %d refused: %v", i, err)
+		}
+	}
+	if err := q.Submit(func() {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit over capacity = %v, want ErrQueueFull", err)
+	}
+	if d := q.Depth(); d != 3 {
+		t.Fatalf("Depth = %d, want 3 (1 running + 2 queued)", d)
+	}
+	close(release)
+	q.Close()
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("Depth after drain = %d, want 0", d)
+	}
+}
+
+// TestQueueCloseDrains is the graceful-shutdown guarantee: every job
+// accepted before Close runs to completion before Close returns, and
+// Submit during/after Close is refused with ErrQueueClosed.
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue(2, 64)
+	var ran atomic.Int64
+	for i := 0; i < 40; i++ {
+		if err := q.Submit(func() {
+			time.Sleep(200 * time.Microsecond)
+			ran.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if got := ran.Load(); got != 40 {
+		t.Fatalf("Close returned with %d/40 jobs run", got)
+	}
+	if err := q.Submit(func() {}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrQueueClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+// TestQueueConcurrentSubmitAndClose hammers the shutdown race: many
+// goroutines submitting while another closes. Every accepted job must
+// run exactly once; refused submissions must be one of the two
+// sentinel errors. Run under -race this also proves the locking.
+func TestQueueConcurrentSubmitAndClose(t *testing.T) {
+	q := NewQueue(4, 32)
+	var accepted, ran atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				err := q.Submit(func() { ran.Add(1) })
+				switch {
+				case err == nil:
+					accepted.Add(1)
+				case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueClosed):
+				default:
+					t.Errorf("unexpected Submit error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	q.Close()
+	wg.Wait()
+	if a, r := accepted.Load(), ran.Load(); a != r {
+		t.Fatalf("accepted %d jobs but ran %d", a, r)
+	}
+}
+
+func TestQueueDefaultsWorkers(t *testing.T) {
+	q := NewQueue(0, -1)
+	done := make(chan struct{})
+	if err := q.Submit(func() { close(done) }); err != nil {
+		t.Fatalf("Submit on defaulted queue: %v", err)
+	}
+	<-done
+	q.Close()
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchServer builds a server with one small artifact already cached,
+// for exercising the hit path without ever simulating.
+func benchServer(b *testing.B) (*Server, *httptest.Server, string) {
+	b.Helper()
+	s, err := New(Config{CacheDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+		strings.NewReader(`{"kind":"trial","trial":{"trial":1,"duration_s":40}}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	keys := s.Cache().Keys()
+	if len(keys) != 1 {
+		b.Fatalf("seed run cached %d artifacts", len(keys))
+	}
+	return s, ts, keys[0]
+}
+
+// BenchmarkCacheGet measures the disk cache's hit path: index lookup,
+// LRU bump, and the artifact read. This is the storage cost under every
+// cache-hit response.
+func BenchmarkCacheGet(b *testing.B) {
+	s, _, key := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Cache().Get(key); !ok {
+			b.Fatal("cached artifact vanished")
+		}
+	}
+}
+
+// BenchmarkServeCachedResult measures the full HTTP cache-hit
+// round trip the CI gate pins: POST the config, decode, canonicalise,
+// hash, hit the cache, stream the two-event NDJSON response. This is
+// the latency a client sees when resubmitting a known configuration.
+func BenchmarkServeCachedResult(b *testing.B) {
+	_, ts, _ := benchServer(b)
+	body := []byte(`{"kind":"trial","trial":{"trial":1,"duration_s":40}}`)
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Contains(data, []byte(`"cached":true`)) {
+			b.Fatalf("response was not a cache hit: %s", data)
+		}
+	}
+}

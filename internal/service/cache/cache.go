@@ -1,0 +1,299 @@
+// Package cache is vanetsimd's persistent content-addressed result
+// store: one file per canonical-config hash, an in-memory LRU index,
+// and a configurable on-disk byte budget enforced by least-recently-
+// used eviction.
+//
+// Because every artifact is the deterministic output of its key's
+// configuration, eviction is always safe — a re-run reproduces the
+// identical bytes (the service's golden test proves it). That frees
+// the cache from write-back complexity: Put writes atomically
+// (temp file + rename), Get reads straight from disk, and a crashed
+// or restarted daemon rebuilds its index by scanning the directory,
+// ordering recency by file modification time.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Cache is a disk-backed LRU keyed by lowercase-hex content hashes.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	dir     string
+	budget  int64 // bytes; <= 0 means unlimited
+	size    int64
+	entries map[string]*list.Element // key -> LRU element holding *entry
+	lru     *list.List               // front = most recently used
+
+	hits, misses, evictions, puts uint64
+}
+
+// entry is one cached artifact's index record.
+type entry struct {
+	key  string
+	size int64
+}
+
+// Stats is a point-in-time summary of the cache.
+type Stats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Budget    int64  `json:"budget_bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Puts      uint64 `json:"puts"`
+}
+
+// Open loads (creating if needed) the cache rooted at dir with the
+// given byte budget (<= 0 = unlimited). Existing artifacts are indexed
+// oldest-first by modification time, so recency survives restarts at
+// file granularity; if the directory already exceeds the budget, the
+// oldest artifacts are evicted immediately.
+func Open(dir string, budget int64) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	c := &Cache{
+		dir:     dir,
+		budget:  budget,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+	type found struct {
+		key  string
+		size int64
+		mod  time.Time
+	}
+	var scan []found
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		key := d.Name()
+		if !validKey(key) {
+			return nil // temp files, strays — leave them alone
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		scan = append(scan, found{key: key, size: info.Size(), mod: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cache: scan %s: %w", dir, err)
+	}
+	sort.Slice(scan, func(i, j int) bool {
+		if !scan[i].mod.Equal(scan[j].mod) {
+			return scan[i].mod.Before(scan[j].mod)
+		}
+		return scan[i].key < scan[j].key
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range scan {
+		c.entries[f.key] = c.lru.PushFront(&entry{key: f.key, size: f.size})
+		c.size += f.size
+	}
+	c.evictOverBudgetLocked()
+	return c, nil
+}
+
+// validKey reports whether name looks like a lowercase-hex SHA-256.
+func validKey(name string) bool {
+	if len(name) != 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		ch := name[i]
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// path shards artifacts across 256 subdirectories by hash prefix, so
+// huge caches never pile every file into one directory.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key)
+}
+
+// Get returns the artifact stored under key and whether it exists,
+// bumping the entry to most-recently-used on a hit.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.mu.Unlock()
+
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		// The file vanished under us (external cleanup): drop the index
+		// entry and report a miss so the caller re-runs.
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.size -= el.Value.(*entry).size
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+		c.misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	return data, true
+}
+
+// Contains reports whether key is cached, without touching recency or
+// the hit/miss counters.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put stores data under key atomically (temp file + rename) and evicts
+// least-recently-used artifacts until the byte budget holds again. An
+// artifact larger than the whole budget is stored and then becomes the
+// sole (over-budget) resident until something else arrives — refusing
+// it would make the run's result unobservable.
+func (c *Cache) Put(key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("cache: invalid key %q", key)
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: close %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: publish %s: %w", key, err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Replaced in place (two jobs raced to the same key): identical
+		// bytes by determinism, but sizes must not double-count.
+		c.size -= el.Value.(*entry).size
+		c.lru.Remove(el)
+		delete(c.entries, key)
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, size: int64(len(data))})
+	c.size += int64(len(data))
+	c.puts++
+	c.evictOverBudgetLocked()
+	return nil
+}
+
+// Evict removes key from the cache, reporting whether it was present.
+func (c *Cache) Evict(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el)
+	return true
+}
+
+// evictOverBudgetLocked drops least-recently-used entries until the
+// budget holds. The newest entry is never evicted to make room for
+// itself. Callers hold c.mu.
+func (c *Cache) evictOverBudgetLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.size > c.budget && c.lru.Len() > 1 {
+		c.removeLocked(c.lru.Back())
+	}
+}
+
+// removeLocked deletes one entry's file and index record; callers hold
+// c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.size -= e.size
+	c.evictions++
+	os.Remove(c.path(e.key))
+}
+
+// Stats returns the current counters and occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Entries:   len(c.entries),
+		Bytes:     c.size,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Puts:      c.puts,
+	}
+}
+
+// Keys returns the cached keys from most to least recently used —
+// diagnostics and tests only.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry).key)
+	}
+	return keys
+}
+
+// Dir returns the cache root (for status reporting).
+func (c *Cache) Dir() string { return c.dir }
+
+// String summarises the cache for logs.
+func (c *Cache) String() string {
+	s := c.Stats()
+	b := &strings.Builder{}
+	fmt.Fprintf(b, "cache{%d entries, %d B", s.Entries, s.Bytes)
+	if s.Budget > 0 {
+		fmt.Fprintf(b, "/%d B", s.Budget)
+	}
+	b.WriteString("}")
+	return b.String()
+}

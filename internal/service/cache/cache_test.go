@@ -1,0 +1,228 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// key derives a deterministic valid cache key from a label.
+func key(label string) string {
+	h := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(h[:])
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("result bytes")
+	if err := c.Put(key("a"), data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key("a"))
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := c.Get(key("missing")); ok {
+		t.Fatalf("missing key reported present")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Bytes != int64(len(data)) {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRejectsInvalidKeys(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("../../etc/passwd", []byte("x")); err == nil {
+		t.Fatalf("path-traversal key accepted")
+	}
+	if err := c.Put("ABCDEF", []byte("x")); err == nil {
+		t.Fatalf("short key accepted")
+	}
+	if _, ok := c.Get("zz"); ok {
+		t.Fatalf("invalid key Get reported present")
+	}
+}
+
+func TestLRUEvictionUnderBudget(t *testing.T) {
+	// Budget of 3 x 10-byte artifacts; the 4th insert evicts the least
+	// recently used.
+	c, err := Open(t.TempDir(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten := bytes.Repeat([]byte("x"), 10)
+	for _, l := range []string{"a", "b", "c"} {
+		if err := c.Put(key(l), ten); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" becomes the eviction victim.
+	if _, ok := c.Get(key("a")); !ok {
+		t.Fatal("a missing")
+	}
+	if err := c.Put(key("d"), ten); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key("b")); ok {
+		t.Fatalf("b survived eviction")
+	}
+	for _, l := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(key(l)); !ok {
+			t.Fatalf("%s evicted, want resident", l)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestOversizedArtifactStillStored(t *testing.T) {
+	c, err := Open(t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("y"), 100)
+	if err := c.Put(key("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get(key("big")); !ok || !bytes.Equal(got, big) {
+		t.Fatalf("over-budget artifact not served")
+	}
+	// The next insert evicts it.
+	if err := c.Put(key("small"), []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key("big")); ok {
+		t.Fatalf("over-budget artifact survived the next insert")
+	}
+}
+
+func TestExplicitEvict(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key("a"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Evict(key("a")) {
+		t.Fatalf("Evict reported absent")
+	}
+	if c.Evict(key("a")) {
+		t.Fatalf("second Evict reported present")
+	}
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatalf("evicted key still served")
+	}
+	if _, err := os.Stat(filepath.Join(c.Dir(), key("a")[:2], key("a"))); !os.IsNotExist(err) {
+		t.Fatalf("evicted file still on disk: %v", err)
+	}
+}
+
+func TestReopenRestoresIndexAndRecency(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range []string{"old", "mid", "new"} {
+		if err := c.Put(key(l), []byte(l)); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so the rescan order is unambiguous even on
+		// coarse filesystem clocks.
+		mt := time.Now().Add(time.Duration(i-3) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, key(l)[:2], key(l)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reopen with a budget that only fits two artifacts: the oldest by
+	// mtime must be evicted at startup.
+	c2, err := Open(dir, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key("old")); ok {
+		t.Fatalf("oldest artifact survived the reopen budget")
+	}
+	for _, l := range []string{"mid", "new"} {
+		if got, ok := c2.Get(key(l)); !ok || string(got) != l {
+			t.Fatalf("%s not restored: %q %v", l, got, ok)
+		}
+	}
+}
+
+func TestReopenIgnoresStrays(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("stray file indexed: %+v", s)
+	}
+}
+
+func TestGetRecoversFromExternalDeletion(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key("a"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(c.Dir(), key("a")[:2], key("a")))
+	if _, ok := c.Get(key("a")); ok {
+		t.Fatalf("deleted file served")
+	}
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("index kept a deleted file: %+v", s)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	c, err := Open(t.TempDir(), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(fmt.Sprintf("%d", i%16))
+				if i%2 == 0 {
+					if err := c.Put(k, bytes.Repeat([]byte("p"), 64)); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if data, ok := c.Get(k); ok && len(data) != 64 {
+					t.Errorf("partial read: %d bytes", len(data))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Bytes > 2048 {
+		t.Fatalf("budget exceeded after concurrent load: %+v", s)
+	}
+}

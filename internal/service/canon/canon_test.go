@@ -1,0 +1,195 @@
+package canon
+
+import (
+	"strings"
+	"testing"
+
+	"vanetsim/internal/scenario"
+)
+
+func mustCanon(t *testing.T, body string) *Canonical {
+	t.Helper()
+	req, err := Decode(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("Decode(%s): %v", body, err)
+	}
+	c, err := Canonicalize(req)
+	if err != nil {
+		t.Fatalf("Canonicalize(%s): %v", body, err)
+	}
+	return c
+}
+
+func TestFieldOrderDoesNotChangeHash(t *testing.T) {
+	a := mustCanon(t, `{"kind":"trial","trial":{"trial":2,"seed":7,"duration_s":40}}`)
+	b := mustCanon(t, `{"trial":{"duration_s":40,"seed":7,"trial":2},"kind":"trial"}`)
+	if a.Hash() != b.Hash() {
+		t.Fatalf("field reordering changed the hash:\n%q\n%q", a.AppendBinary(nil), b.AppendBinary(nil))
+	}
+}
+
+func TestDefaultElisionDoesNotChangeHash(t *testing.T) {
+	// Trial 1's defaults spelled out must hash like trial 1 elided.
+	a := mustCanon(t, `{"kind":"trial","trial":{"trial":1}}`)
+	b := mustCanon(t, `{"kind":"trial","trial":{"trial":1,"duration_s":200,"seed":1}}`)
+	if a.Hash() != b.Hash() {
+		t.Fatalf("explicit defaults changed the hash:\n%q\n%q", a.AppendBinary(nil), b.AppendBinary(nil))
+	}
+	if a.Trial.Duration != 200 || a.Trial.Seed != 1 {
+		t.Fatalf("trial 1 defaults not applied: %+v", a.Trial)
+	}
+}
+
+func TestDistinctConfigsHashDistinctly(t *testing.T) {
+	seen := map[Hash]string{}
+	for _, body := range []string{
+		`{"kind":"trial","trial":{"trial":1}}`,
+		`{"kind":"trial","trial":{"trial":2}}`,
+		`{"kind":"trial","trial":{"trial":3}}`,
+		`{"kind":"trial","trial":{"trial":1,"seed":2}}`,
+		`{"kind":"trial","trial":{"trial":1,"duration_s":40}}`,
+		`{"kind":"trial","trial":{"trial":1,"telemetry":true}}`,
+		`{"kind":"trial","trial":{"trial":1,"check":true}}`,
+		`{"kind":"trial","trial":{"trial":1,"faults":{"loss":0.05}}}`,
+		`{"kind":"trial","trial":{"trial":0}}`,
+		`{"kind":"trial","trial":{"trial":0,"mac":"802.11","packet":500}}`,
+		`{"kind":"dense","dense":{"vehicles":240}}`,
+		`{"kind":"dense","dense":{"vehicles":240,"mac":"802.11"}}`,
+		`{"kind":"dense","dense":{"vehicles":240,"beacon_fraction":0}}`,
+		`{"kind":"degradation","degradation":{}}`,
+		`{"kind":"degradation","degradation":{"mac":"802.11"}}`,
+		`{"kind":"degradation","degradation":{"loss_probs":[0,0.5]}}`,
+	} {
+		h := mustCanon(t, body).Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision between %s and %s", prev, body)
+		}
+		seen[h] = body
+	}
+}
+
+func TestExecutionKnobsExcluded(t *testing.T) {
+	// The canonical form has no shard/culling field at all: grep the
+	// encoding to prove execution knobs cannot split the cache.
+	for _, body := range []string{
+		`{"kind":"trial","trial":{"trial":1}}`,
+		`{"kind":"dense","dense":{"vehicles":240}}`,
+	} {
+		enc := string(mustCanon(t, body).AppendBinary(nil))
+		if strings.Contains(enc, "shard") || strings.Contains(enc, "cull") {
+			t.Fatalf("canonical encoding leaks an execution knob:\n%s", enc)
+		}
+	}
+}
+
+func TestOutageOrderNormalized(t *testing.T) {
+	a := mustCanon(t, `{"kind":"trial","trial":{"trial":1,"faults":{"outages":[{"node":4,"start_s":10,"duration_s":3},{"node":1,"start_s":22,"duration_s":5}]}}}`)
+	b := mustCanon(t, `{"kind":"trial","trial":{"trial":1,"faults":{"outages":[{"node":1,"start_s":22,"duration_s":5},{"node":4,"start_s":10,"duration_s":3}]}}}`)
+	if a.Hash() != b.Hash() {
+		t.Fatalf("outage order changed the hash")
+	}
+}
+
+func TestMACSpellingsNormalized(t *testing.T) {
+	variants := []string{"802.11", "dcf", "80211", "DCF"}
+	want := mustCanon(t, `{"kind":"dense","dense":{"vehicles":48,"mac":"802.11"}}`).Hash()
+	for _, v := range variants {
+		got := mustCanon(t, `{"kind":"dense","dense":{"vehicles":48,"mac":"`+v+`"}}`).Hash()
+		if got != want {
+			t.Fatalf("MAC spelling %q hashes differently", v)
+		}
+	}
+}
+
+func TestCanonicalizeRejects(t *testing.T) {
+	for _, body := range []string{
+		`{}`,
+		`{"kind":"warp"}`,
+		`{"kind":"trial"}`,
+		`{"kind":"trial","dense":{"vehicles":10}}`,
+		`{"kind":"trial","trial":{"trial":4}}`,
+		`{"kind":"trial","trial":{"trial":1,"mac":"802.11"}}`,
+		`{"kind":"trial","trial":{"trial":1,"packet":500}}`,
+		`{"kind":"trial","trial":{"trial":0,"mac":"token-ring"}}`,
+		`{"kind":"trial","trial":{"trial":1,"duration_s":-5}}`,
+		`{"kind":"trial","trial":{"trial":1,"faults":{"loss":1.5}}}`,
+		`{"kind":"trial","trial":{"trial":1,"faults":{"burst_loss":-0.1}}}`,
+		`{"kind":"trial","trial":{"trial":1,"faults":{"outages":[{"node":-1,"start_s":0,"duration_s":1}]}}}`,
+		`{"kind":"dense","dense":{"vehicles":1}}`,
+		`{"kind":"dense","dense":{"vehicles":48,"beacon_jitter":1}}`,
+		`{"kind":"dense","dense":{"vehicles":48,"beacon_fraction":2}}`,
+		`{"kind":"dense","dense":{"vehicles":48,"platoon_len":1}}`,
+		`{"kind":"degradation","degradation":{"loss_probs":[2]}}`,
+		`{"kind":"degradation","degradation":{"burst_len":-1}}`,
+	} {
+		req, err := Decode(strings.NewReader(body))
+		if err != nil {
+			continue // decode-level rejection is fine too
+		}
+		if _, err := Canonicalize(req); err == nil {
+			t.Errorf("Canonicalize(%s) accepted, want error", body)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFieldsAndTrailer(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"kind":"trial","trial":{"trial":1,"warp":9}}`)); err == nil {
+		t.Fatalf("unknown field accepted")
+	}
+	if _, err := Decode(strings.NewReader(`{"kind":"trial","trial":{"trial":1}} trailing`)); err == nil {
+		t.Fatalf("trailing data accepted")
+	}
+}
+
+func TestNormalizedRequestRoundTrips(t *testing.T) {
+	for _, body := range []string{
+		`{"kind":"trial","trial":{"trial":3,"seed":9,"faults":{"burst_loss":0.1}}}`,
+		`{"kind":"trial","trial":{"trial":0,"mac":"dcf"}}`,
+		`{"kind":"dense","dense":{"vehicles":96,"beacon_fraction":0,"safety_depth":2}}`,
+		`{"kind":"degradation","degradation":{"mac":"802.11","outage":{"node":1,"start_s":22,"duration_s":5}}}`,
+	} {
+		c := mustCanon(t, body)
+		c2, err := Canonicalize(c.Request())
+		if err != nil {
+			t.Fatalf("normalized request of %s rejected: %v", body, err)
+		}
+		a, b := c.AppendBinary(nil), c2.AppendBinary(nil)
+		if string(a) != string(b) {
+			t.Fatalf("round trip changed the canonical form:\n%q\n%q", a, b)
+		}
+	}
+}
+
+func TestCost(t *testing.T) {
+	c := mustCanon(t, `{"kind":"degradation","degradation":{"duration_s":10,"loss_probs":[0,0.1,0.2]}}`)
+	cost := c.Cost()
+	if cost.Runs != 3 || cost.SimSeconds != 30 {
+		t.Fatalf("degradation cost = %+v, want 3 runs / 30 sim-seconds", cost)
+	}
+	d := mustCanon(t, `{"kind":"dense","dense":{"vehicles":240,"duration_s":8}}`).Cost()
+	if d.Vehicles != 240 || d.SimSeconds != 8 || d.Runs != 1 {
+		t.Fatalf("dense cost = %+v", d)
+	}
+}
+
+func TestParseHash(t *testing.T) {
+	h := mustCanon(t, `{"kind":"trial","trial":{"trial":1}}`).Hash()
+	back, err := ParseHash(h.String())
+	if err != nil || back != h {
+		t.Fatalf("ParseHash(%q) = %v, %v", h.String(), back, err)
+	}
+	if _, err := ParseHash("abc"); err == nil {
+		t.Fatalf("short hash accepted")
+	}
+	if _, err := ParseHash(strings.Repeat("zz", 32)); err == nil {
+		t.Fatalf("non-hex hash accepted")
+	}
+}
+
+func TestTrialPresetMatchesScenario(t *testing.T) {
+	c := mustCanon(t, `{"kind":"trial","trial":{"trial":2}}`)
+	want := scenario.Trial2()
+	if c.Trial.Name != want.Name || c.Trial.PacketSize != want.PacketSize || c.Trial.MAC != want.MAC {
+		t.Fatalf("trial 2 canonical = %+v, want preset %+v", c.Trial, want)
+	}
+}

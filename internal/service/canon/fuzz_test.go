@@ -1,0 +1,88 @@
+package canon
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalRoundTrip is the canonicaliser's stability target: for
+// any JSON body the decoder accepts, (1) re-encoding the normalized
+// request and canonicalising again must reproduce the exact canonical
+// bytes and hash, and (2) rewriting the body through a generic
+// map[string]any — which re-orders every object's keys — must too. A
+// failure means the cache key depends on the wire form instead of the
+// semantic configuration, which would split (or worse, alias) cache
+// entries.
+func FuzzCanonicalRoundTrip(f *testing.F) {
+	f.Add(`{"kind":"trial","trial":{"trial":1}}`)
+	f.Add(`{"kind":"trial","trial":{"trial":0,"mac":"802.11","packet":500,"duration_s":40,"seed":7}}`)
+	f.Add(`{"kind":"trial","trial":{"trial":2,"telemetry":true,"check":true}}`)
+	f.Add(`{"kind":"trial","trial":{"trial":3,"faults":{"loss":0.05,"burst_loss":0.1,"burst_len":4,"shadow_db":6,"outages":[{"node":1,"start_s":22,"duration_s":5}]}}}`)
+	f.Add(`{"kind":"dense","dense":{"vehicles":240,"lanes":4,"platoon_len":10,"beacon_fraction":0.25,"duration_s":8}}`)
+	f.Add(`{"kind":"dense","dense":{"vehicles":48,"mac":"dcf","beacon_fraction":0,"safety_depth":2,"beacon_jitter":0.5}}`)
+	f.Add(`{"kind":"degradation","degradation":{"mac":"tdma","loss_probs":[0,0.1,0.3],"burst_len":4,"duration_s":20}}`)
+	f.Add(`{"kind":"degradation","degradation":{"outage":{"node":1,"start_s":22,"duration_s":5}}}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := Decode(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		c1, err := Canonicalize(req)
+		if err != nil {
+			return
+		}
+		enc1 := c1.AppendBinary(nil)
+		h1 := c1.Hash()
+
+		// Round trip 1: the normalized request (defaults explicit,
+		// spellings canonical) must reproduce the canonical form.
+		norm, err := json.Marshal(c1.Request())
+		if err != nil {
+			t.Fatalf("marshal normalized request: %v", err)
+		}
+		req2, err := Decode(bytes.NewReader(norm))
+		if err != nil {
+			t.Fatalf("normalized request %s does not decode: %v", norm, err)
+		}
+		c2, err := Canonicalize(req2)
+		if err != nil {
+			t.Fatalf("normalized request %s does not canonicalise: %v", norm, err)
+		}
+		if !bytes.Equal(enc1, c2.AppendBinary(nil)) {
+			t.Fatalf("normalized round trip changed the canonical form:\n%q\n%q", enc1, c2.AppendBinary(nil))
+		}
+		if c2.Hash() != h1 {
+			t.Fatalf("normalized round trip changed the hash")
+		}
+
+		// Round trip 2: reorder every object's fields by bouncing the
+		// original body through a generic map (Go maps marshal with
+		// sorted keys). UseNumber keeps 64-bit seeds exact.
+		dec := json.NewDecoder(strings.NewReader(body))
+		dec.UseNumber()
+		var generic any
+		if err := dec.Decode(&generic); err != nil {
+			return
+		}
+		reordered, err := json.Marshal(generic)
+		if err != nil {
+			return
+		}
+		req3, err := Decode(bytes.NewReader(reordered))
+		if err != nil {
+			// The generic bounce can legalise duplicate keys the strict
+			// decoder tolerated; only equal-decodable bodies must agree.
+			return
+		}
+		c3, err := Canonicalize(req3)
+		if err != nil {
+			return
+		}
+		if c3.Hash() != h1 {
+			t.Fatalf("field reordering changed the hash:\noriginal:  %s\nreordered: %s", body, reordered)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket rate limiter for the run
+// endpoint. Each client (keyed by remote host) gets burst tokens that
+// refill at rate per second; a request spends one token or is refused.
+type limiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	now     func() time.Time
+	clients map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter builds a limiter; rate <= 0 disables limiting entirely.
+func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		clients: make(map[string]*tokenBucket),
+	}
+}
+
+// allow reports whether the client may proceed, spending a token if so.
+func (l *limiter) allow(client string) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.clients[client]
+	if !ok {
+		l.prune(now)
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// prune caps the client map: buckets idle long enough to have refilled
+// completely carry no state worth keeping. Called with l.mu held, only
+// on the new-client path, so steady traffic never pays for it.
+func (l *limiter) prune(now time.Time) {
+	if len(l.clients) < 4096 {
+		return
+	}
+	for key, b := range l.clients {
+		if now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.clients, key)
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vanetsim/internal/obs"
+	"vanetsim/internal/runner"
+	"vanetsim/internal/service/cache"
+	"vanetsim/internal/service/canon"
+)
+
+// Config sizes a Server. The zero value is usable: an unlimited cache
+// in CacheDir, two workers, default budgets, rate limiting off.
+type Config struct {
+	// CacheDir roots the content-addressed result cache (required).
+	CacheDir string
+	// CacheBudget bounds the cache's disk use in bytes (<= 0 = unlimited).
+	CacheBudget int64
+	// Workers bounds concurrently executing simulation jobs (<= 0 = 2).
+	Workers int
+	// QueueDepth bounds the accepted-but-unstarted backlog (<= 0 = 16).
+	// When it is full, run requests are refused with 503.
+	QueueDepth int
+	// MaxSimSeconds is the per-request admission budget on total
+	// simulated seconds across all of the request's runs (<= 0 = 3600).
+	MaxSimSeconds float64
+	// MaxVehicles is the per-request admission budget on a single run's
+	// fleet size (<= 0 = 4096).
+	MaxVehicles int
+	// RatePerSec refills each client's token bucket for the run endpoint
+	// (<= 0 = rate limiting off). RateBurst is the bucket size (<= 0 = 8).
+	RatePerSec float64
+	RateBurst  int
+	// Now overrides the clock (tests); nil = time.Now.
+	Now func() time.Time
+}
+
+// Server is the vanetsimd HTTP service. Create with New, serve
+// Handler(), stop with Close (drains in-flight jobs).
+type Server struct {
+	cfg      Config
+	cache    *cache.Cache
+	queue    *runner.Queue
+	limiter  *limiter
+	mux      *http.ServeMux
+	now      func() time.Time
+	draining atomic.Bool
+
+	jobsMu sync.Mutex
+	jobs   map[string]*job // in-flight, keyed by canonical hash
+
+	// metricsMu guards reg: obs.Registry is documented single-threaded
+	// (the simulator owns one per run); the service shares one registry
+	// across handler goroutines, so every touch takes the lock.
+	metricsMu sync.Mutex
+	reg       *obs.Registry
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	jobsOK    *obs.Counter
+	jobsErr   *obs.Counter
+	limited   *obs.Counter
+	rejected  *obs.Counter
+	queueLen  *obs.Gauge
+	inflight  *obs.Gauge
+	jobSecs   *obs.Histogram
+}
+
+// job is one in-flight simulation run: an append-only progress log
+// with edge-triggered change notification, finished exactly once.
+// Subscribers (HTTP streams) read it concurrently; a subscriber that
+// disconnects abandons the stream but never the job — the result is
+// cached for whoever asks next.
+type job struct {
+	mu      sync.Mutex
+	lines   []string
+	changed chan struct{} // closed and replaced on every append; closed for good at finish
+	done    bool
+	err     error
+	bytes   int
+}
+
+func newJob() *job { return &job{changed: make(chan struct{})} }
+
+func (j *job) appendLine(line string) {
+	j.mu.Lock()
+	j.lines = append(j.lines, line)
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+func (j *job) finish(bytes int, err error) {
+	j.mu.Lock()
+	j.done, j.bytes, j.err = true, bytes, err
+	close(j.changed)
+	j.mu.Unlock()
+}
+
+// snapshot returns progress lines from index from on, the completion
+// state, and the channel that closes on the next change.
+func (j *job) snapshot(from int) (lines []string, done bool, bytes int, err error, changed chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.lines) {
+		lines = append(lines, j.lines[from:]...)
+	}
+	return lines, j.done, j.bytes, j.err, j.changed
+}
+
+// New opens the cache and starts the job queue.
+func New(cfg Config) (*Server, error) {
+	if cfg.CacheDir == "" {
+		return nil, fmt.Errorf("service: Config.CacheDir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.MaxSimSeconds <= 0 {
+		cfg.MaxSimSeconds = 3600
+	}
+	if cfg.MaxVehicles <= 0 {
+		cfg.MaxVehicles = 4096
+	}
+	if cfg.RateBurst <= 0 {
+		cfg.RateBurst = 8
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c, err := cache.Open(cfg.CacheDir, cfg.CacheBudget)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   c,
+		queue:   runner.NewQueue(cfg.Workers, cfg.QueueDepth),
+		limiter: newLimiter(cfg.RatePerSec, cfg.RateBurst, cfg.Now),
+		now:     cfg.Now,
+		jobs:    make(map[string]*job),
+		reg:     obs.NewRegistry(),
+	}
+	s.hits = s.reg.Counter("service/cache_hits_total", "run requests answered from the result cache")
+	s.misses = s.reg.Counter("service/cache_misses_total", "run requests that started a fresh simulation job")
+	s.coalesced = s.reg.Counter("service/coalesced_total", "run requests attached to an already-running identical job")
+	s.jobsOK = s.reg.Counter("service/jobs_completed_total", "simulation jobs finished and cached")
+	s.jobsErr = s.reg.Counter("service/jobs_failed_total", "simulation jobs that ended in error")
+	s.limited = s.reg.Counter("service/rate_limited_total", "run requests refused by the per-client rate limit")
+	s.rejected = s.reg.Counter("service/queue_rejected_total", "run requests refused because the job queue was full or draining")
+	s.queueLen = s.reg.Gauge("service/queue_depth", "jobs accepted but not yet finished")
+	s.inflight = s.reg.Gauge("service/inflight_jobs", "distinct configurations currently executing")
+	s.jobSecs = s.reg.Histogram("service/job_seconds", "wall-clock job execution latency",
+		[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300})
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the underlying result cache (status, tests).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// BeginDrain stops admitting run requests; already-accepted jobs keep
+// executing. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close drains: no new jobs are admitted, every accepted job runs to
+// completion and lands in the cache, then the workers exit.
+func (s *Server) Close() {
+	s.BeginDrain()
+	s.queue.Close()
+}
+
+// count increments a service counter under the registry lock.
+func (s *Server) count(c *obs.Counter) {
+	s.metricsMu.Lock()
+	c.Inc()
+	s.metricsMu.Unlock()
+}
+
+// event is one NDJSON line of a run response stream.
+type event struct {
+	Event  string `json:"event"` // "accepted", "progress", "done"
+	Hash   string `json:"hash,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Line   string `json:"line,omitempty"`
+	Bytes  int    `json:"bytes,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// writeEvent emits one NDJSON event and flushes it to the client, so
+// progress is visible while the simulation runs.
+func writeEvent(w http.ResponseWriter, e event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return nil
+}
+
+// clientKey extracts the rate-limit key (remote host) for a request.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// handleRun is the service's core: canonicalise, consult the cache,
+// and either answer immediately or stream a fresh run's progress.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.count(s.rejected)
+		http.Error(w, "service draining", http.StatusServiceUnavailable)
+		return
+	}
+	if !s.limiter.allow(clientKey(r)) {
+		s.count(s.limited)
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	}
+	req, err := canon.Decode(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c, err := canon.Canonicalize(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if cost := c.Cost(); cost.SimSeconds > s.cfg.MaxSimSeconds || cost.Vehicles > s.cfg.MaxVehicles {
+		http.Error(w, fmt.Sprintf(
+			"request exceeds budget: %.0f simulated seconds (max %.0f), %d vehicles (max %d)",
+			cost.SimSeconds, s.cfg.MaxSimSeconds, cost.Vehicles, s.cfg.MaxVehicles),
+			http.StatusUnprocessableEntity)
+		return
+	}
+	hash := c.Hash().String()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if data, ok := s.cache.Get(hash); ok {
+		s.count(s.hits)
+		writeEvent(w, event{Event: "accepted", Hash: hash, Cached: true})
+		writeEvent(w, event{Event: "done", Hash: hash, Cached: true, Bytes: len(data)})
+		return
+	}
+
+	// Miss: join the in-flight job for this hash, or create it.
+	// Submit happens under jobsMu so a registered job is always backed
+	// by a queued execution.
+	s.jobsMu.Lock()
+	j, running := s.jobs[hash]
+	if !running {
+		j = newJob()
+		if err := s.queue.Submit(func() { s.execute(hash, j, c) }); err != nil {
+			s.jobsMu.Unlock()
+			s.count(s.rejected)
+			http.Error(w, "job queue full", http.StatusServiceUnavailable)
+			return
+		}
+		s.jobs[hash] = j
+	}
+	s.jobsMu.Unlock()
+	if running {
+		s.count(s.coalesced)
+	} else {
+		s.count(s.misses)
+	}
+
+	writeEvent(w, event{Event: "accepted", Hash: hash})
+	ctx := r.Context()
+	for next := 0; ; {
+		lines, done, bytes, jerr, changed := j.snapshot(next)
+		for _, line := range lines {
+			if writeEvent(w, event{Event: "progress", Line: line}) != nil {
+				return // client gone; the job keeps running
+			}
+		}
+		next += len(lines)
+		if done {
+			e := event{Event: "done", Hash: hash, Bytes: bytes}
+			if jerr != nil {
+				e.Error = jerr.Error()
+			}
+			writeEvent(w, e)
+			return
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// execute runs one simulation job on a queue worker and publishes the
+// artifact to the cache before announcing completion, so a subscriber
+// reacting to "done" always finds the result.
+func (s *Server) execute(hash string, j *job, c *canon.Canonical) {
+	s.metricsMu.Lock()
+	s.inflight.Add(1)
+	s.metricsMu.Unlock()
+	start := s.now()
+
+	data, err := BuildArtifact(c, j.appendLine)
+	if err == nil {
+		err = s.cache.Put(hash, data)
+	}
+
+	s.metricsMu.Lock()
+	s.inflight.Add(-1)
+	s.jobSecs.Observe(s.now().Sub(start).Seconds())
+	if err != nil {
+		s.jobsErr.Inc()
+	} else {
+		s.jobsOK.Inc()
+	}
+	s.metricsMu.Unlock()
+
+	// Deregister before finishing: once subscribers see "done", the
+	// next identical request must re-check the cache, not join a
+	// finished job.
+	s.jobsMu.Lock()
+	delete(s.jobs, hash)
+	s.jobsMu.Unlock()
+	j.finish(len(data), err)
+}
+
+// handleResult serves a cached artifact verbatim.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	h, err := canon.ParseHash(r.PathValue("hash"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	data, ok := s.cache.Get(h.String())
+	if !ok {
+		http.Error(w, "result not cached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "immutable")
+	w.Write(data)
+}
+
+// handleStatus reports the service's moving parts as JSON.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.jobsMu.Lock()
+	inflight := len(s.jobs)
+	s.jobsMu.Unlock()
+	status := struct {
+		Service  string      `json:"service"`
+		Version  string      `json:"version"`
+		Draining bool        `json:"draining"`
+		Queue    int         `json:"queue_depth"`
+		Inflight int         `json:"inflight_jobs"`
+		Cache    cache.Stats `json:"cache"`
+	}{
+		Service:  "vanetsimd",
+		Version:  canon.Version,
+		Draining: s.draining.Load(),
+		Queue:    s.queue.Depth(),
+		Inflight: inflight,
+		Cache:    s.cache.Stats(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(status)
+}
+
+// handleMetrics exposes the service counters in the Prometheus text
+// format via the repository's own exporter. Point-in-time values
+// (queue depth, cache occupancy) are refreshed at scrape time.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	depth := s.queue.Depth()
+	s.metricsMu.Lock()
+	s.queueLen.Set(float64(depth))
+	evict := s.reg.Gauge("service/cache_evictions", "artifacts evicted by the disk budget")
+	evict.Set(float64(cs.Evictions))
+	entries := s.reg.Gauge("service/cache_entries", "artifacts resident in the cache")
+	entries.Set(float64(cs.Entries))
+	bytes := s.reg.Gauge("service/cache_bytes", "bytes resident in the cache")
+	bytes.Set(float64(cs.Bytes))
+	snap := s.reg.Snapshot()
+	s.metricsMu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap.Prometheus(w)
+}
+
+// handleHealthz answers liveness probes; a draining server reports 503
+// so load balancers stop routing to it while it finishes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

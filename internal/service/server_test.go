@@ -1,0 +1,424 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// trialBody is the small paper trial the endpoint tests submit: 40 s
+// covers the t≈20 s communication start, so the tables carry data.
+const trialBody = `{"kind":"trial","trial":{"trial":1,"duration_s":40,"check":true,"telemetry":true}}`
+
+// newTestServer spins up a Server over a temp cache plus an httptest
+// front end, torn down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.CacheDir == "" {
+		cfg.CacheDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// postRun submits a run request and decodes its NDJSON event stream.
+func postRun(t *testing.T, ts *httptest.Server, body string) []event {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/run = %d: %s", resp.StatusCode, msg)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var events []event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty event stream")
+	}
+	return events
+}
+
+// getResult fetches a cached artifact.
+func getResult(t *testing.T, ts *httptest.Server, hash string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/results/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/results/%s = %d", hash, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// scrapeMetric pulls one value from the /metrics Prometheus text.
+func scrapeMetric(t *testing.T, ts *httptest.Server, name string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var v float64
+		if n, _ := fmt.Sscanf(sc.Text(), name+" %g", &v); n == 1 {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func TestRunMissThenHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// First submission: a miss that runs, streams progress, caches.
+	events := postRun(t, ts, trialBody)
+	if events[0].Event != "accepted" || events[0].Cached {
+		t.Fatalf("first event = %+v, want uncached accepted", events[0])
+	}
+	hash := events[0].Hash
+	if len(hash) != 64 {
+		t.Fatalf("accepted hash = %q", hash)
+	}
+	progress := 0
+	for _, e := range events {
+		if e.Event == "progress" {
+			progress++
+		}
+	}
+	if progress == 0 {
+		t.Fatalf("no progress events in %+v", events)
+	}
+	last := events[len(events)-1]
+	if last.Event != "done" || last.Error != "" || last.Bytes == 0 || last.Hash != hash {
+		t.Fatalf("final event = %+v", last)
+	}
+
+	data := getResult(t, ts, hash)
+	if len(data) != last.Bytes {
+		t.Fatalf("artifact is %d bytes, done event said %d", len(data), last.Bytes)
+	}
+
+	// Second submission: a hit, answered without running anything.
+	events = postRun(t, ts, trialBody)
+	if len(events) != 2 || !events[0].Cached || events[1].Event != "done" || !events[1].Cached {
+		t.Fatalf("hit stream = %+v", events)
+	}
+	if events[1].Hash != hash || events[1].Bytes != len(data) {
+		t.Fatalf("hit done = %+v, want hash %s with %d bytes", events[1], hash, len(data))
+	}
+
+	for name, want := range map[string]float64{
+		"service_cache_hits_total":     1,
+		"service_cache_misses_total":   1,
+		"service_jobs_completed_total": 1,
+		"service_jobs_failed_total":    0,
+	} {
+		if got, ok := scrapeMetric(t, ts, name); !ok || got != want {
+			t.Errorf("%s = %g (present=%v), want %g", name, got, ok, want)
+		}
+	}
+}
+
+// TestFieldOrderHitsSameEntry submits the same configuration spelled
+// differently (reordered fields, defaults explicit) and requires it to
+// land on the first submission's cache entry.
+func TestFieldOrderHitsSameEntry(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	first := postRun(t, ts, trialBody)
+	reordered := `{"trial":{"telemetry":true,"check":true,"duration_s":40,"seed":1,"trial":1},"kind":"trial"}`
+	second := postRun(t, ts, reordered)
+	if !second[0].Cached {
+		t.Fatalf("reordered spelling missed the cache: %+v", second)
+	}
+	if second[0].Hash != first[0].Hash {
+		t.Fatalf("hashes differ: %s vs %s", first[0].Hash, second[0].Hash)
+	}
+}
+
+func TestRunRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, body := range map[string]string{
+		"not json":       `{"kind":`,
+		"unknown kind":   `{"kind":"jam"}`,
+		"unknown field":  `{"kind":"trial","trial":{"trial":1,"warp":9}}`,
+		"missing kind":   `{"trial":{"trial":1}}`,
+		"bad trial":      `{"kind":"trial","trial":{"trial":7}}`,
+		"preset overrid": `{"kind":"trial","trial":{"trial":1,"mac":"802.11"}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestRunEnforcesBudgets(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSimSeconds: 100, MaxVehicles: 100})
+	for name, body := range map[string]string{
+		"sim seconds": `{"kind":"trial","trial":{"trial":1,"duration_s":200}}`,
+		"vehicles":    `{"kind":"dense","dense":{"vehicles":240,"duration_s":5}}`,
+		"sweep total": `{"kind":"degradation","degradation":{"loss_probs":[0,0.1,0.2],"duration_s":50}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status = %d, want 422", name, resp.StatusCode)
+		}
+	}
+	// Within budget still runs.
+	if events := postRun(t, ts, `{"kind":"trial","trial":{"trial":1,"duration_s":40}}`); events[len(events)-1].Error != "" {
+		t.Fatalf("in-budget run failed: %+v", events)
+	}
+}
+
+func TestRateLimitPerClient(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	_, ts := newTestServer(t, Config{
+		RatePerSec: 1, RateBurst: 2,
+		Now: func() time.Time { return clock },
+	})
+	// Burst of 2 passes; the third request inside the same instant is
+	// refused. (httptest clients share one host, i.e. one bucket.)
+	cheap := `{"kind":"trial","trial":{"trial":1,"duration_s":40}}`
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(cheap))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d = %d", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(cheap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst request = %d, want 429", resp.StatusCode)
+	}
+	if got, ok := scrapeMetric(t, ts, "service_rate_limited_total"); !ok || got != 1 {
+		t.Fatalf("service_rate_limited_total = %g (present=%v), want 1", got, ok)
+	}
+	// Advancing the clock refills the bucket.
+	clock = clock.Add(time.Second)
+	resp, err = http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(cheap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-refill request = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestResultEndpointErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/results/not-a-hash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed hash = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/results/" + strings.Repeat("ab", 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("uncached hash = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCoalescingAttachesToInflightJob(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Plant a fake in-flight job under the request's canonical hash;
+	// the submission must attach to it instead of starting a run.
+	hash := canonHash(t, trialBody)
+	j := newJob()
+	s.jobsMu.Lock()
+	s.jobs[hash] = j
+	s.jobsMu.Unlock()
+
+	var events []event
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		events = postRun(t, ts, trialBody)
+	}()
+	// Feed the job only once the subscriber has attached (the coalesced
+	// counter ticks before the handler starts streaming).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s.metricsMu.Lock()
+		n := s.coalesced.Value()
+		s.metricsMu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never attached to the planted job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	j.appendLine("synthetic progress 1")
+	j.appendLine("synthetic progress 2")
+	s.jobsMu.Lock()
+	delete(s.jobs, hash)
+	s.jobsMu.Unlock()
+	j.finish(42, nil)
+	wg.Wait()
+
+	var lines []string
+	for _, e := range events {
+		if e.Event == "progress" {
+			lines = append(lines, e.Line)
+		}
+	}
+	if len(lines) != 2 || lines[0] != "synthetic progress 1" || lines[1] != "synthetic progress 2" {
+		t.Fatalf("progress = %q", lines)
+	}
+	if last := events[len(events)-1]; last.Event != "done" || last.Bytes != 42 {
+		t.Fatalf("final event = %+v", last)
+	}
+	if got, ok := scrapeMetric(t, ts, "service_coalesced_total"); !ok || got != 1 {
+		t.Fatalf("service_coalesced_total = %g (present=%v), want 1", got, ok)
+	}
+	if got, _ := scrapeMetric(t, ts, "service_cache_misses_total"); got != 0 {
+		t.Fatalf("coalesced request also counted as a miss (%g)", got)
+	}
+}
+
+func TestDrainRefusesNewRunsAndFinishesAccepted(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Open the run stream by hand so the drain can begin after the job
+	// is accepted but (very likely) before it finishes: the "accepted"
+	// event is written strictly after the queue admits the job.
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(trialBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first event: %v", sc.Err())
+	}
+	var accepted event
+	if err := json.Unmarshal(sc.Bytes(), &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.Event != "accepted" || accepted.Cached {
+		t.Fatalf("first event = %+v", accepted)
+	}
+	s.BeginDrain()
+
+	drained, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(trialBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained.Body.Close()
+	if drained.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("run while draining = %d, want 503", drained.StatusCode)
+	}
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", health.StatusCode)
+	}
+
+	// The accepted job survives the drain: its stream ends in a clean
+	// "done" and the artifact is cached once Close returns.
+	var last event
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.Event != "done" || last.Error != "" {
+		t.Fatalf("drained job's stream ended with %+v", last)
+	}
+	s.Close()
+	if !s.Cache().Contains(accepted.Hash) {
+		t.Fatalf("drained job's artifact not cached")
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postRun(t, ts, trialBody)
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Service  string `json:"service"`
+		Version  string `json:"version"`
+		Draining bool   `json:"draining"`
+		Cache    struct {
+			Entries int `json:"entries"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Service != "vanetsimd" || status.Version == "" || status.Draining || status.Cache.Entries != 1 {
+		t.Fatalf("status = %+v", status)
+	}
+}
