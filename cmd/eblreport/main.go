@@ -9,6 +9,8 @@
 //	eblreport -stats-json report.ndjson  # machine-readable trial metrics
 //	eblreport -degrade               # only the fault-injection degradation report
 //	eblreport -latency-breakdown     # per-component delay decomposition, 802.11 vs TDMA
+//	eblreport -tolerance 0.05        # adaptive precision: replicate until every 95% CI is ±5%
+//	eblreport -tolerance 0.02 -max-reps 32  # same, with an explicit replication budget
 //
 // The degradation report sweeps the fault layer's loss axis per MAC and
 // tabulates how delay, throughput, and the braking-safety margin erode as
@@ -44,11 +46,19 @@ func run(args []string, out io.Writer) error {
 		statsJSN = fs.String("stats-json", "", "write all trials' telemetry as NDJSON to this path")
 		degrade  = fs.Bool("degrade", false, "print only the fault-injection degradation report")
 		degCSV   = fs.String("degrade-csv", "", "also write the degradation points as CSV to this path")
-		checkInv = fs.Bool("check", false, "arm the runtime invariant checker on every run; non-zero exit on any violation")
-		latency  = fs.Bool("latency-breakdown", false, "print only the span-derived latency decomposition (TDMA vs 802.11)")
+		checkInv  = fs.Bool("check", false, "arm the runtime invariant checker on every run; non-zero exit on any violation")
+		latency   = fs.Bool("latency-breakdown", false, "print only the span-derived latency decomposition (TDMA vs 802.11)")
+		tolerance = fs.Float64("tolerance", 0, "print only the adaptive-precision report: replicate until every 95% CI is within this relative half-width (e.g. 0.05 = ±5%)")
+		maxReps   = fs.Int("max-reps", 0, "replication budget for -tolerance (0 = 64); the achieved bound is reported if the budget is hit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *maxReps != 0 && *tolerance == 0 {
+		return fmt.Errorf("-max-reps only applies with -tolerance")
+	}
+	if *tolerance != 0 {
+		return toleranceReport(out, *jobs, *tolerance, *maxReps, *checkInv)
 	}
 	if *latency {
 		return latencyBreakdownReport(out, *jobs)
@@ -57,6 +67,77 @@ func run(args []string, out io.Writer) error {
 		return degradationReport(out, *jobs, *degCSV, *checkInv)
 	}
 	return reportWith(out, *jobs, *stats, *statsJSN, *checkInv)
+}
+
+// toleranceReport is the adaptive-precision evaluation: replications are
+// added in batches until every watched 95% CI meets the requested
+// relative half-width (or the budget runs out), and two common-random-
+// numbers paired comparisons quantify what seed sharing buys. Output is
+// byte-identical at every -j and batch size.
+func toleranceReport(out io.Writer, jobs int, tol float64, maxReps int, check bool) error {
+	fmt.Fprintln(out, "Adaptive-precision replication — run until the CI bound is met")
+	fmt.Fprintln(out, "==============================================================")
+
+	pool := vanetsim.Pool{Workers: jobs}
+
+	cfg3 := vanetsim.Trial3()
+	cfg3.Duration = vanetsim.Seconds(60)
+	cfg3.Check = check
+	fmt.Fprintf(out, "\n--- %v: sequential stopping on all four metrics ---\n", cfg3.Name)
+	st, err := vanetsim.RunReplicationsTolerance(cfg3, tol, vanetsim.ToleranceOptions{
+		MaxReps: maxReps, Pool: pool,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, st.String())
+
+	// The paper's MAC comparison under common random numbers. TDMA is
+	// deterministic across seeds at this scale, so the paired interval
+	// equals the unpaired one — CRN pays off only when both arms share
+	// seed-driven noise, which the report states rather than hides.
+	cfg1 := vanetsim.Trial1()
+	cfg1.Duration = vanetsim.Seconds(60)
+	cfg1.Check = check
+	fmt.Fprintln(out, "\n--- CRN paired comparison: TDMA (trial1) vs 802.11 (trial3) ---")
+	mac, err := vanetsim.RunPairedReplicationsTolerance(cfg1, cfg3, tol, vanetsim.ToleranceOptions{
+		MaxReps: maxReps, Pool: pool,
+		Metrics: []string{vanetsim.MetricDelay, vanetsim.MetricTput},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, mac.String())
+
+	// A packet-size A/B where both arms are 802.11: the same seed drives
+	// the same contention pattern in both, so the paired interval
+	// tightens. The 40 s window (comms start at t ≈ 20 s) concentrates
+	// the seed-driven congestion transient both arms share; over longer
+	// runs the steady state dominates and the arms decorrelate.
+	cfgA := cfg3
+	cfgA.Duration = vanetsim.Seconds(40)
+	cfg500 := cfgA
+	cfg500.Name = "trial3-500B"
+	cfg500.PacketSize = 500
+	fmt.Fprintln(out, "\n--- CRN paired comparison: 802.11 1000 B vs 500 B ---")
+	// Five replications minimum so the comparison spans the seeds'
+	// congestion variability (clamped to a smaller explicit budget).
+	minSize := 5
+	if maxReps > 0 && maxReps < minSize {
+		minSize = maxReps
+	}
+	size, err := vanetsim.RunPairedReplicationsTolerance(cfgA, cfg500, tol, vanetsim.ToleranceOptions{
+		MinReps: minSize, MaxReps: maxReps, Pool: pool,
+		Metrics: []string{vanetsim.MetricTput},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, size.String())
+	fmt.Fprintln(out, "\nA CRN pair tightens only metrics whose noise the arms share; a")
+	fmt.Fprintln(out, "deterministic arm (TDMA) leaves the paired width equal to the")
+	fmt.Fprintln(out, "unpaired one, so no reduction factor is printed for it.")
+	return nil
 }
 
 // latencyBreakdownReport runs the paper's MAC comparison (trial 1 vs

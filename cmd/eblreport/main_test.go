@@ -28,6 +28,54 @@ func TestReportCoversEverything(t *testing.T) {
 	}
 }
 
+func TestToleranceReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adaptive replication report is slow")
+	}
+	// A generous tolerance and small budget keep the runtime bounded; the
+	// structure of the report does not depend on either.
+	var sb strings.Builder
+	if err := run([]string{"-tolerance", "0.4", "-max-reps", "6"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Adaptive-precision replication",
+		"sequential stopping on all four metrics",
+		"tolerance ±40%",
+		"achieved ±",
+		"CRN paired comparison: TDMA (trial1) vs 802.11 (trial3)",
+		"CRN paired comparison: 802.11 1000 B vs 500 B",
+		"replications (95% CIs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tolerance report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Figure shapes") {
+		t.Fatal("-tolerance must print only the adaptive-precision report")
+	}
+	// The report must be byte-identical at any -j (the engine's
+	// determinism contract at the CLI surface).
+	var sb8 strings.Builder
+	if err := run([]string{"-tolerance", "0.4", "-max-reps", "6", "-j", "8"}, &sb8); err != nil {
+		t.Fatal(err)
+	}
+	if sb8.String() != out {
+		t.Fatal("tolerance report differs between -j defaults and -j 8")
+	}
+}
+
+func TestToleranceFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-max-reps", "8"}, &sb); err == nil {
+		t.Fatal("-max-reps without -tolerance accepted")
+	}
+	if err := run([]string{"-tolerance", "-0.1"}, &sb); err == nil {
+		t.Fatal("negative tolerance accepted")
+	}
+}
+
 func TestDegradationReport(t *testing.T) {
 	dir := t.TempDir()
 	csvPath := filepath.Join(dir, "deg.csv")

@@ -33,6 +33,18 @@ import (
 // cached file self-describing: the exact resolved configuration that
 // produced it travels with the bytes.
 func BuildArtifact(c *canon.Canonical, progress func(string)) ([]byte, error) {
+	return BuildArtifactCached(c, nil, progress)
+}
+
+// BuildArtifactCached is BuildArtifact with a per-replication entry
+// store. Replication studies look each derived seed up in reps before
+// simulating and store what they run, so a resubmission at a tighter
+// tolerance re-runs only the additional replications. The entries are
+// keyed by canon.RepEntryHash — (base config, seed) only — and the
+// rebuilt study is byte-identical to a fresh one, so serving from
+// entries is as trustworthy as serving the cached artifact itself. A
+// nil store disables entry reuse; other kinds ignore it.
+func BuildArtifactCached(c *canon.Canonical, reps RepStore, progress func(string)) ([]byte, error) {
 	if progress == nil {
 		progress = func(string) {}
 	}
@@ -50,6 +62,8 @@ func BuildArtifact(c *canon.Canonical, progress func(string)) ([]byte, error) {
 		err = denseArtifact(&b, c, progress)
 	case canon.KindDegradation:
 		err = degradationArtifact(&b, c, progress)
+	case canon.KindReplication:
+		err = replicationArtifact(&b, c, reps, progress)
 	default:
 		err = fmt.Errorf("service: unknown kind %q", c.Kind)
 	}
@@ -119,6 +133,67 @@ func denseArtifact(b *strings.Builder, c *canon.Canonical, progress func(string)
 		r.Channel.Offered, r.Channel.Delivered, r.Channel.FilteredFreq)
 	writeCheckVerdict(b, cfg.Check, r.Violations)
 	writeTelemetry(b, r.Telemetry)
+	return nil
+}
+
+// replicationArtifact runs the adaptive-precision study and renders
+// its verdict, the achieved bound per stopping metric, and every
+// replication's measurements. The rendered study depends only on the
+// canonical spec — batch overshoot and cache hit/miss mix never appear
+// — so the artifact stays content-addressable even though two
+// executions of it may simulate very different amounts of work.
+func replicationArtifact(b *strings.Builder, c *canon.Canonical, reps RepStore, progress func(string)) error {
+	spec := c.Rep
+	cfg := spec.Base
+	progress(fmt.Sprintf("replication study %s: %v MAC, tolerance ±%g%%, %d–%d replications",
+		cfg.Name, cfg.MAC, 100*spec.Tolerance, spec.MinReps, spec.MaxReps))
+	opts := vanetsim.ToleranceOptions{
+		MinReps:  spec.MinReps,
+		MaxReps:  spec.MaxReps,
+		Progress: progress,
+	}
+	if reps != nil {
+		opts.Lookup = func(seed uint64) (vanetsim.Replication, bool) {
+			data, ok := reps.Get(c.RepEntryHash(seed).String())
+			if !ok {
+				return vanetsim.Replication{}, false
+			}
+			rep, err := decodeRepEntry(seed, data)
+			if err != nil {
+				// A corrupt entry is a miss, not a failure: re-simulate.
+				return vanetsim.Replication{}, false
+			}
+			return rep, true
+		}
+		opts.Store = func(rep vanetsim.Replication) {
+			// Best-effort: a full or failing entry store must not fail
+			// the study, it only costs a future re-run.
+			reps.Put(c.RepEntryHash(rep.Seed).String(), encodeRepEntry(rep))
+		}
+	}
+	st, err := vanetsim.RunReplicationsTolerance(cfg, spec.Tolerance, opts)
+	if err != nil {
+		return err
+	}
+	verdict := "tolerance met"
+	if !st.Met {
+		verdict = "budget exhausted"
+	}
+	progress(fmt.Sprintf("replication study %s: %s after %d replications", cfg.Name, verdict, len(st.Runs)))
+
+	b.WriteString(st.String())
+	b.WriteString("\nper-replication measurements:\n")
+	fmt.Fprintf(b, "  %-3s %-20s %12s %12s %12s %14s\n",
+		"rep", "seed", "avg_delay_s", "steady_s", "first_s", "avg_tput_mbps")
+	for i, rep := range st.Runs {
+		fmt.Fprintf(b, "  %-3d %-20d %12.6f %12.6f %12.6f %14.6f\n",
+			i+1, rep.Seed, rep.AvgDelayS, rep.SteadyS, rep.FirstS, rep.AvgTputMbps)
+	}
+	if cfg.Check {
+		// runReplication fails the whole study on any violation, so
+		// reaching here means every replication checked clean.
+		b.WriteString("\ninvariant check: clean in every replication\n")
+	}
 	return nil
 }
 

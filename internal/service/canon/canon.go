@@ -49,10 +49,11 @@ const Version = "vanetsimd/v1"
 // Request is the wire form of one simulation request. Exactly one of
 // the kind-specific payloads must be set, matching Kind.
 type Request struct {
-	Kind        string              `json:"kind"` // "trial", "dense" or "degradation"
+	Kind        string              `json:"kind"` // "trial", "dense", "degradation" or "replication"
 	Trial       *TrialRequest       `json:"trial,omitempty"`
 	Dense       *DenseRequest       `json:"dense,omitempty"`
 	Degradation *DegradationRequest `json:"degradation,omitempty"`
+	Replication *ReplicationRequest `json:"replication,omitempty"`
 }
 
 // TrialRequest asks for one run of the paper's intersection scenario.
@@ -106,6 +107,20 @@ type DenseRequest struct {
 	Check          bool     `json:"check,omitempty"`
 }
 
+// ReplicationRequest asks for an adaptive-precision replication study:
+// the base trial re-run under deterministically derived seeds until
+// every headline metric's 95% CI relative half-width is at most
+// Tolerance, or the MaxReps budget is exhausted ("give me this answer
+// to ±2%"). The base trial's seed roots the derived seed stream; its
+// telemetry flag must be off (a study has no single telemetry
+// snapshot), while check applies to every replication.
+type ReplicationRequest struct {
+	Trial     *TrialRequest `json:"trial"`
+	Tolerance float64       `json:"tolerance"`          // relative half-width, e.g. 0.05 = ±5%
+	MinReps   int           `json:"min_reps,omitempty"` // 0 = 4; at least 2
+	MaxReps   int           `json:"max_reps,omitempty"` // 0 = 64
+}
+
 // DegradationRequest asks for the fault-degradation sweep: the base
 // trial on MAC swept across LossProbs (default: the paper grid).
 type DegradationRequest struct {
@@ -139,7 +154,19 @@ const (
 	KindTrial       = "trial"
 	KindDense       = "dense"
 	KindDegradation = "degradation"
+	KindReplication = "replication"
 )
+
+// ReplicationSpec is the fully resolved adaptive-precision study: the
+// base trial (whose Seed roots the derived seed stream) plus the
+// stopping parameters. Batch size and worker count are execution-only
+// (the study is byte-identical at any value) and deliberately absent.
+type ReplicationSpec struct {
+	Base      scenario.TrialConfig
+	Tolerance float64
+	MinReps   int
+	MaxReps   int
+}
 
 // DegradationSpec is the fully resolved degradation sweep.
 type DegradationSpec struct {
@@ -175,6 +202,7 @@ type Canonical struct {
 	Trial scenario.TrialConfig
 	Dense scenario.DenseHighwayConfig
 	Deg   DegradationSpec
+	Rep   ReplicationSpec
 
 	req Request // normalized wire form (defaults made explicit)
 }
@@ -191,7 +219,7 @@ type Cost struct {
 // canonical form. All errors are client errors (bad requests).
 func Canonicalize(req Request) (*Canonical, error) {
 	kinds := 0
-	for _, set := range []bool{req.Trial != nil, req.Dense != nil, req.Degradation != nil} {
+	for _, set := range []bool{req.Trial != nil, req.Dense != nil, req.Degradation != nil, req.Replication != nil} {
 		if set {
 			kinds++
 		}
@@ -215,8 +243,13 @@ func Canonicalize(req Request) (*Canonical, error) {
 			return nil, fmt.Errorf(`canon: kind "degradation" needs a "degradation" payload`)
 		}
 		return canonDegradation(*req.Degradation)
+	case "replication":
+		if req.Replication == nil {
+			return nil, fmt.Errorf(`canon: kind "replication" needs a "replication" payload`)
+		}
+		return canonReplication(*req.Replication)
 	case "":
-		return nil, fmt.Errorf(`canon: missing "kind" (want "trial", "dense" or "degradation")`)
+		return nil, fmt.Errorf(`canon: missing "kind" (want "trial", "dense", "degradation" or "replication")`)
 	default:
 		return nil, fmt.Errorf("canon: unknown kind %q", req.Kind)
 	}
@@ -573,6 +606,54 @@ func canonDegradation(gr DegradationRequest) (*Canonical, error) {
 	return c, nil
 }
 
+func canonReplication(rr ReplicationRequest) (*Canonical, error) {
+	if rr.Trial == nil {
+		return nil, fmt.Errorf(`canon: replication needs a "trial" base config`)
+	}
+	if rr.Trial.Telemetry {
+		return nil, fmt.Errorf("canon: replication.trial.telemetry is not supported (a study has no single telemetry snapshot)")
+	}
+	base, err := canonTrial(*rr.Trial)
+	if err != nil {
+		return nil, err
+	}
+	if err := finite("replication.tolerance", rr.Tolerance); err != nil {
+		return nil, err
+	}
+	// The open interval catches the classic unit mistake of sending 5
+	// for ±5% (tolerances are relative fractions, not percentages).
+	if rr.Tolerance <= 0 || rr.Tolerance >= 1 {
+		return nil, fmt.Errorf("canon: replication.tolerance = %v outside (0, 1) — a relative half-width fraction, e.g. 0.05 for ±5%%", rr.Tolerance)
+	}
+	minReps := rr.MinReps
+	if minReps == 0 {
+		minReps = 4
+	}
+	if minReps < 2 {
+		return nil, fmt.Errorf("canon: replication.min_reps = %d needs at least 2 (no interval exists on fewer)", rr.MinReps)
+	}
+	maxReps := rr.MaxReps
+	if maxReps == 0 {
+		maxReps = 64
+	}
+	if maxReps < minReps {
+		return nil, fmt.Errorf("canon: replication.max_reps = %d below min_reps %d", maxReps, minReps)
+	}
+	c := &Canonical{Kind: "replication", Rep: ReplicationSpec{
+		Base:      base.Trial,
+		Tolerance: rr.Tolerance,
+		MinReps:   minReps,
+		MaxReps:   maxReps,
+	}}
+	c.req = Request{Kind: "replication", Replication: &ReplicationRequest{
+		Trial:     base.req.Trial,
+		Tolerance: rr.Tolerance,
+		MinReps:   minReps,
+		MaxReps:   maxReps,
+	}}
+	return c, nil
+}
+
 // Request returns the normalized wire form: every default explicit,
 // canonical MAC spellings, outages sorted. Canonicalising it again
 // yields a byte-identical canonical encoding (the fuzz round trip).
@@ -592,6 +673,14 @@ func (c *Canonical) Cost() Cost {
 			SimSeconds: float64(c.Dense.Duration),
 			Vehicles:   c.Dense.Vehicles,
 			Runs:       1,
+		}
+	case "replication":
+		// Admission control must budget for the worst case: the full
+		// replication budget, even though a converging study stops early.
+		return Cost{
+			SimSeconds: float64(c.Rep.Base.Duration) * float64(c.Rep.MaxReps),
+			Vehicles:   2 * c.Rep.Base.PlatoonSize,
+			Runs:       c.Rep.MaxReps,
 		}
 	default:
 		n := len(c.Deg.LossProbs)
@@ -627,6 +716,28 @@ func (c *Canonical) Hash() Hash {
 	return sha256.Sum256(c.AppendBinary(buf[:0]))
 }
 
+// RepEntryHash returns the content address of ONE replication of a
+// replication study: the study's base trial with its seed replaced by
+// the derived per-replication seed. The entry key deliberately excludes
+// the study parameters (tolerance, min/max reps) — a replication's
+// measurements depend only on (config, seed) — so a tighter-tolerance
+// resubmission addresses the very same entries and re-runs only the
+// additional replications. Observation-only knobs (telemetry, check)
+// are zeroed too: a checked study and an unchecked one measure the same
+// numbers, so they share entries.
+func (c *Canonical) RepEntryHash(seed uint64) Hash {
+	t := c.Rep.Base
+	t.Seed = seed
+	t.Telemetry = false
+	t.Check = false
+	var buf [1024]byte
+	dst := append(buf[:0], Version...)
+	dst = append(dst, '\n')
+	dst = appendStr(dst, "kind", "replication-entry")
+	dst = appendTrial(dst, &t)
+	return sha256.Sum256(dst)
+}
+
 // AppendBinary appends the canonical encoding to dst and returns the
 // extended slice. The encoding is versioned key=value lines in a fixed
 // field order; it allocates nothing beyond dst growth, so reusing dst
@@ -640,6 +751,11 @@ func (c *Canonical) AppendBinary(dst []byte) []byte {
 		dst = appendTrial(dst, &c.Trial)
 	case "dense":
 		dst = appendDense(dst, &c.Dense)
+	case "replication":
+		dst = appendTrial(dst, &c.Rep.Base)
+		dst = appendFloat(dst, "rep.tolerance", c.Rep.Tolerance)
+		dst = appendInt(dst, "rep.min_reps", c.Rep.MinReps)
+		dst = appendInt(dst, "rep.max_reps", c.Rep.MaxReps)
 	case "degradation":
 		dst = appendStr(dst, "deg.mac", macName(c.Deg.Base.MAC))
 		dst = appendTrial(dst, &c.Deg.Base)

@@ -59,6 +59,10 @@ func TestDistinctConfigsHashDistinctly(t *testing.T) {
 		`{"kind":"degradation","degradation":{}}`,
 		`{"kind":"degradation","degradation":{"mac":"802.11"}}`,
 		`{"kind":"degradation","degradation":{"loss_probs":[0,0.5]}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":1},"tolerance":0.05}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":1},"tolerance":0.02}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":1},"tolerance":0.05,"max_reps":16}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":3,"duration_s":40},"tolerance":0.05}}`,
 	} {
 		h := mustCanon(t, body).Hash()
 		if prev, dup := seen[h]; dup {
@@ -121,6 +125,16 @@ func TestCanonicalizeRejects(t *testing.T) {
 		`{"kind":"dense","dense":{"vehicles":48,"platoon_len":1}}`,
 		`{"kind":"degradation","degradation":{"loss_probs":[2]}}`,
 		`{"kind":"degradation","degradation":{"burst_len":-1}}`,
+		`{"kind":"replication"}`,
+		`{"kind":"replication","replication":{"tolerance":0.05}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":1},"tolerance":0}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":1},"tolerance":5}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":1},"tolerance":1}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":1},"tolerance":-0.05}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":1},"tolerance":0.05,"min_reps":1}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":1},"tolerance":0.05,"min_reps":8,"max_reps":4}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":1,"telemetry":true},"tolerance":0.05}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":4},"tolerance":0.05}}`,
 	} {
 		req, err := Decode(strings.NewReader(body))
 		if err != nil {
@@ -147,6 +161,7 @@ func TestNormalizedRequestRoundTrips(t *testing.T) {
 		`{"kind":"trial","trial":{"trial":0,"mac":"dcf"}}`,
 		`{"kind":"dense","dense":{"vehicles":96,"beacon_fraction":0,"safety_depth":2}}`,
 		`{"kind":"degradation","degradation":{"mac":"802.11","outage":{"node":1,"start_s":22,"duration_s":5}}}`,
+		`{"kind":"replication","replication":{"trial":{"trial":1,"duration_s":40},"tolerance":0.05,"min_reps":3,"max_reps":8}}`,
 	} {
 		c := mustCanon(t, body)
 		c2, err := Canonicalize(c.Request())
@@ -169,6 +184,63 @@ func TestCost(t *testing.T) {
 	d := mustCanon(t, `{"kind":"dense","dense":{"vehicles":240,"duration_s":8}}`).Cost()
 	if d.Vehicles != 240 || d.SimSeconds != 8 || d.Runs != 1 {
 		t.Fatalf("dense cost = %+v", d)
+	}
+}
+
+func TestReplicationDefaultsAndCost(t *testing.T) {
+	c := mustCanon(t, `{"kind":"replication","replication":{"trial":{"trial":1,"duration_s":40},"tolerance":0.05}}`)
+	if c.Rep.MinReps != 4 || c.Rep.MaxReps != 64 {
+		t.Fatalf("replication defaults = min %d / max %d, want 4 / 64", c.Rep.MinReps, c.Rep.MaxReps)
+	}
+	// Defaults spelled out must hash like defaults elided.
+	explicit := mustCanon(t, `{"kind":"replication","replication":{"trial":{"trial":1,"duration_s":40,"seed":1},"tolerance":0.05,"min_reps":4,"max_reps":64}}`)
+	if c.Hash() != explicit.Hash() {
+		t.Fatalf("explicit replication defaults changed the hash:\n%q\n%q",
+			c.AppendBinary(nil), explicit.AppendBinary(nil))
+	}
+	// Admission control budgets the worst case: the full MaxReps budget.
+	cost := c.Cost()
+	if cost.Runs != 64 || cost.SimSeconds != 40*64 {
+		t.Fatalf("replication cost = %+v, want 64 runs / 2560 sim-seconds", cost)
+	}
+	if cost.Vehicles != 2*c.Rep.Base.PlatoonSize {
+		t.Fatalf("replication cost vehicles = %d, want both platoons (%d)", cost.Vehicles, 2*c.Rep.Base.PlatoonSize)
+	}
+}
+
+// TestRepEntryHash pins the per-replication cache-entry addressing: an
+// entry key depends only on (base config, derived seed), never on the
+// study parameters or observation-only knobs, so a tighter-tolerance
+// resubmission addresses the very same entries.
+func TestRepEntryHash(t *testing.T) {
+	loose := mustCanon(t, `{"kind":"replication","replication":{"trial":{"trial":1,"duration_s":40},"tolerance":0.05,"min_reps":3,"max_reps":8}}`)
+	tight := mustCanon(t, `{"kind":"replication","replication":{"trial":{"trial":1,"duration_s":40},"tolerance":0.02,"min_reps":6,"max_reps":16}}`)
+	checked := mustCanon(t, `{"kind":"replication","replication":{"trial":{"trial":1,"duration_s":40,"check":true},"tolerance":0.05}}`)
+	other := mustCanon(t, `{"kind":"replication","replication":{"trial":{"trial":3,"duration_s":40},"tolerance":0.05}}`)
+
+	if loose.Hash() == tight.Hash() {
+		t.Fatal("study hashes must differ across tolerances (distinct artifacts)")
+	}
+	if loose.RepEntryHash(7) != tight.RepEntryHash(7) {
+		t.Fatal("entry hash depends on the study tolerance/budget — refinement cannot reuse entries")
+	}
+	if loose.RepEntryHash(7) != checked.RepEntryHash(7) {
+		t.Fatal("entry hash depends on the check knob — checked and unchecked studies must share entries")
+	}
+	if loose.RepEntryHash(7) == loose.RepEntryHash(8) {
+		t.Fatal("entry hash ignores the replication seed")
+	}
+	if loose.RepEntryHash(7) == other.RepEntryHash(7) {
+		t.Fatal("entry hash ignores the base config")
+	}
+	if loose.RepEntryHash(7) == loose.Hash() {
+		t.Fatal("entry hash collides with the study hash")
+	}
+	// The entry namespace must not collide with a plain trial request for
+	// the same config and seed (their artifacts have different shapes).
+	trial := mustCanon(t, `{"kind":"trial","trial":{"trial":1,"duration_s":40,"seed":7}}`)
+	if loose.RepEntryHash(7) == trial.Hash() {
+		t.Fatal("entry hash collides with the equivalent trial-request hash")
 	}
 }
 

@@ -24,6 +24,9 @@ func FuzzCanonicalRoundTrip(f *testing.F) {
 	f.Add(`{"kind":"dense","dense":{"vehicles":48,"mac":"dcf","beacon_fraction":0,"safety_depth":2,"beacon_jitter":0.5}}`)
 	f.Add(`{"kind":"degradation","degradation":{"mac":"tdma","loss_probs":[0,0.1,0.3],"burst_len":4,"duration_s":20}}`)
 	f.Add(`{"kind":"degradation","degradation":{"outage":{"node":1,"start_s":22,"duration_s":5}}}`)
+	f.Add(`{"kind":"replication","replication":{"trial":{"trial":3,"duration_s":40},"tolerance":0.05}}`)
+	f.Add(`{"kind":"replication","replication":{"trial":{"trial":1,"seed":9,"check":true},"tolerance":0.02,"min_reps":3,"max_reps":8}}`)
+	f.Add(`{"kind":"replication","replication":{"trial":{"trial":0,"mac":"802.11","packet":500,"faults":{"loss":0.1}},"tolerance":0.1,"max_reps":16}}`)
 
 	f.Fuzz(func(t *testing.T, body string) {
 		req, err := Decode(strings.NewReader(body))

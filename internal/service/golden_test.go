@@ -35,6 +35,10 @@ func TestGoldenCacheHitMatchesFreshRun(t *testing.T) {
 		"trial2": `{"kind":"trial","trial":{"trial":2,"duration_s":40,"check":true,"telemetry":true}}`,
 		"trial3": `{"kind":"trial","trial":{"trial":3,"duration_s":40,"check":true,"telemetry":true}}`,
 		"dense":  `{"kind":"dense","dense":{"vehicles":48,"duration_s":6,"check":true,"telemetry":true}}`,
+		// The replication re-run additionally rebuilds the study from the
+		// per-replication entries that survived the artifact's eviction —
+		// proving a cached-entry rebuild is byte-identical too.
+		"replication": `{"kind":"replication","replication":{"trial":{"trial":3,"duration_s":40,"check":true},"tolerance":0.2,"min_reps":3,"max_reps":6}}`,
 	}
 	for name, body := range bodies {
 		body := body

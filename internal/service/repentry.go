@@ -1,0 +1,89 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vanetsim"
+)
+
+// RepStore is the per-replication cache seam a replication study runs
+// against: one entry per (base config, derived seed), keyed by
+// canon.RepEntryHash. The artifact cache satisfies it directly — entry
+// keys live in their own hash domain, so they can share the artifact
+// namespace without collision. A nil RepStore simply re-runs every
+// replication.
+type RepStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte) error
+}
+
+// encodeRepEntry renders one replication's measurements as
+// deterministic key=value lines. FormatFloat 'g'/-1 round-trips every
+// float64 exactly (including NaN for a never-received first packet), so
+// a study rebuilt from cached entries is byte-identical to a fresh one.
+func encodeRepEntry(rep vanetsim.Replication) []byte {
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d\n", rep.Seed)
+	fmt.Fprintf(&b, "avg_delay_s=%s\n", g(rep.AvgDelayS))
+	fmt.Fprintf(&b, "steady_s=%s\n", g(rep.SteadyS))
+	fmt.Fprintf(&b, "first_s=%s\n", g(rep.FirstS))
+	fmt.Fprintf(&b, "avg_tput_mbps=%s\n", g(rep.AvgTputMbps))
+	return []byte(b.String())
+}
+
+// decodeRepEntry parses an entry back. It is strict — every field
+// present exactly once, the recorded seed matching the requested one —
+// because a corrupt or aliased entry silently substituting wrong
+// measurements would poison a study's CIs; the caller treats any error
+// as a cache miss and re-simulates.
+func decodeRepEntry(seed uint64, data []byte) (vanetsim.Replication, error) {
+	rep := vanetsim.Replication{Seed: seed}
+	fields := map[string]*float64{
+		"avg_delay_s":   &rep.AvgDelayS,
+		"steady_s":      &rep.SteadyS,
+		"first_s":       &rep.FirstS,
+		"avg_tput_mbps": &rep.AvgTputMbps,
+	}
+	seen := make(map[string]bool, len(fields)+1)
+	for _, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return rep, fmt.Errorf("service: replication entry line %q is not key=value", line)
+		}
+		if seen[key] {
+			return rep, fmt.Errorf("service: replication entry repeats %q", key)
+		}
+		seen[key] = true
+		if key == "seed" {
+			got, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return rep, fmt.Errorf("service: replication entry seed %q: %v", val, err)
+			}
+			if got != seed {
+				return rep, fmt.Errorf("service: replication entry records seed %d, want %d", got, seed)
+			}
+			continue
+		}
+		dst, known := fields[key]
+		if !known {
+			return rep, fmt.Errorf("service: replication entry has unknown field %q", key)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return rep, fmt.Errorf("service: replication entry %s=%q: %v", key, val, err)
+		}
+		*dst = v
+	}
+	if !seen["seed"] {
+		return rep, fmt.Errorf("service: replication entry missing seed")
+	}
+	for key := range fields {
+		if !seen[key] {
+			return rep, fmt.Errorf("service: replication entry missing %s", key)
+		}
+	}
+	return rep, nil
+}

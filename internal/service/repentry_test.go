@@ -1,0 +1,57 @@
+package service
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vanetsim"
+)
+
+// TestRepEntryRoundTrip: the codec must reproduce every measurement
+// bit-exactly — including a NaN first-packet delay, the explicit
+// "never received" marker — or a rebuilt study would drift from a
+// fresh one.
+func TestRepEntryRoundTrip(t *testing.T) {
+	for _, rep := range []vanetsim.Replication{
+		{Seed: 7, AvgDelayS: 0.0024589403, SteadyS: 2.944354, FirstS: 0.237547, AvgTputMbps: 0.0538},
+		{Seed: 16530426615209737554, AvgDelayS: 1e-9, SteadyS: 0, FirstS: math.NaN(), AvgTputMbps: 123.456},
+	} {
+		data := encodeRepEntry(rep)
+		back, err := decodeRepEntry(rep.Seed, data)
+		if err != nil {
+			t.Fatalf("decode(%s): %v", data, err)
+		}
+		same := back.Seed == rep.Seed &&
+			back.AvgDelayS == rep.AvgDelayS &&
+			back.SteadyS == rep.SteadyS &&
+			back.AvgTputMbps == rep.AvgTputMbps &&
+			(back.FirstS == rep.FirstS || (math.IsNaN(back.FirstS) && math.IsNaN(rep.FirstS)))
+		if !same {
+			t.Fatalf("round trip changed the entry:\nin:  %+v\nout: %+v", rep, back)
+		}
+	}
+}
+
+// TestRepEntryDecodeStrict: any malformed entry must be an error (the
+// study treats it as a cache miss), never a silently-wrong measurement.
+func TestRepEntryDecodeStrict(t *testing.T) {
+	good := string(encodeRepEntry(vanetsim.Replication{Seed: 7, AvgDelayS: 1, SteadyS: 2, FirstS: 3, AvgTputMbps: 4}))
+	for name, data := range map[string]string{
+		"wrong seed":    strings.Replace(good, "seed=7", "seed=8", 1),
+		"missing seed":  strings.Replace(good, "seed=7\n", "", 1),
+		"missing field": strings.Replace(good, "steady_s=2\n", "", 1),
+		"unknown field": good + "p99_s=9\n",
+		"repeated":      good + "seed=7\n",
+		"not key=value": strings.Replace(good, "steady_s=2", "steady_s 2", 1),
+		"bad float":     strings.Replace(good, "steady_s=2", "steady_s=two", 1),
+		"bad seed":      strings.Replace(good, "seed=7", "seed=-7", 1),
+	} {
+		if _, err := decodeRepEntry(7, []byte(data)); err == nil {
+			t.Errorf("%s: decode accepted:\n%s", name, data)
+		}
+	}
+	if _, err := decodeRepEntry(7, []byte(good)); err != nil {
+		t.Fatalf("good entry rejected: %v", err)
+	}
+}

@@ -67,6 +67,8 @@ type Server struct {
 	jobsErr   *obs.Counter
 	limited   *obs.Counter
 	rejected  *obs.Counter
+	repCached *obs.Counter
+	repFresh  *obs.Counter
 	queueLen  *obs.Gauge
 	inflight  *obs.Gauge
 	jobSecs   *obs.Histogram
@@ -157,6 +159,8 @@ func New(cfg Config) (*Server, error) {
 	s.jobsErr = s.reg.Counter("service/jobs_failed_total", "simulation jobs that ended in error")
 	s.limited = s.reg.Counter("service/rate_limited_total", "run requests refused by the per-client rate limit")
 	s.rejected = s.reg.Counter("service/queue_rejected_total", "run requests refused because the job queue was full or draining")
+	s.repCached = s.reg.Counter("service/rep_cached_total", "study replications answered from cached per-replication entries")
+	s.repFresh = s.reg.Counter("service/rep_fresh_total", "study replications freshly simulated and stored as entries")
 	s.queueLen = s.reg.Gauge("service/queue_depth", "jobs accepted but not yet finished")
 	s.inflight = s.reg.Gauge("service/inflight_jobs", "distinct configurations currently executing")
 	s.jobSecs = s.reg.Histogram("service/job_seconds", "wall-clock job execution latency",
@@ -193,6 +197,25 @@ func (s *Server) count(c *obs.Counter) {
 	s.metricsMu.Lock()
 	c.Inc()
 	s.metricsMu.Unlock()
+}
+
+// countingRepStore adapts the artifact cache into the study's
+// per-replication entry store, counting entry reuse and fresh
+// simulation into the service metrics — the observable proof that a
+// tighter-tolerance resubmission re-ran only the delta.
+type countingRepStore struct{ s *Server }
+
+func (r countingRepStore) Get(key string) ([]byte, bool) {
+	data, ok := r.s.cache.Get(key)
+	if ok {
+		r.s.count(r.s.repCached)
+	}
+	return data, ok
+}
+
+func (r countingRepStore) Put(key string, data []byte) error {
+	r.s.count(r.s.repFresh)
+	return r.s.cache.Put(key, data)
 }
 
 // event is one NDJSON line of a run response stream.
@@ -327,7 +350,7 @@ func (s *Server) execute(hash string, j *job, c *canon.Canonical) {
 	s.metricsMu.Unlock()
 	start := s.now()
 
-	data, err := BuildArtifact(c, j.appendLine)
+	data, err := BuildArtifactCached(c, countingRepStore{s}, j.appendLine)
 	if err == nil {
 		err = s.cache.Put(hash, data)
 	}

@@ -399,6 +399,83 @@ func TestDrainRefusesNewRunsAndFinishesAccepted(t *testing.T) {
 	}
 }
 
+// TestReplicationRefinementReusesEntries is the per-replication cache
+// proof, end to end over HTTP: a study at ±5% runs fresh; resubmitting
+// the same base config at ±2% with a larger minimum must recall every
+// previously run replication from its cache entry and simulate only
+// the delta. Trial 1's TDMA schedule has no cross-seed variance at
+// this scale, so the stopping points — and therefore the exact
+// cached/fresh counts — are deterministic.
+func TestReplicationRefinementReusesEntries(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	loose := `{"kind":"replication","replication":{"trial":{"trial":1,"duration_s":40},"tolerance":0.05,"min_reps":3,"max_reps":8}}`
+	events := postRun(t, ts, loose)
+	if events[0].Cached {
+		t.Fatalf("first study claimed a hit on an empty cache")
+	}
+	if last := events[len(events)-1]; last.Event != "done" || last.Error != "" {
+		t.Fatalf("first study ended badly: %+v", last)
+	}
+	first := string(getResult(t, ts, events[0].Hash))
+	if !strings.Contains(first, "tolerance ±5% met after 3 replications") {
+		t.Fatalf("loose artifact missing its verdict:\n%s", first)
+	}
+	// Minimum 3, batch 4: one batch of 4 fresh replications, all stored.
+	for name, want := range map[string]float64{
+		"service_rep_fresh_total":  4,
+		"service_rep_cached_total": 0,
+	} {
+		if got, ok := scrapeMetric(t, ts, name); !ok || got != want {
+			t.Fatalf("after loose study: %s = %g (present=%v), want %g", name, got, ok, want)
+		}
+	}
+
+	// Tighter tolerance and a larger minimum: a different study hash
+	// (artifact miss), but the same per-replication entry keys.
+	tight := `{"kind":"replication","replication":{"trial":{"trial":1,"duration_s":40},"tolerance":0.02,"min_reps":6,"max_reps":8}}`
+	events = postRun(t, ts, tight)
+	if events[0].Cached {
+		t.Fatalf("tightened study hit the artifact cache (hashes must differ)")
+	}
+	if last := events[len(events)-1]; last.Event != "done" || last.Error != "" {
+		t.Fatalf("tightened study ended badly: %+v", last)
+	}
+	second := string(getResult(t, ts, events[0].Hash))
+	if !strings.Contains(second, "tolerance ±2% met after 6 replications") {
+		t.Fatalf("tight artifact missing its verdict:\n%s", second)
+	}
+	// The first batch of 4 comes entirely from cached entries; only the
+	// second batch (replications 5–8) simulates.
+	for name, want := range map[string]float64{
+		"service_rep_cached_total": 4,
+		"service_rep_fresh_total":  8,
+	} {
+		if got, ok := scrapeMetric(t, ts, name); !ok || got != want {
+			t.Fatalf("after tight study: %s = %g (present=%v), want %g", name, got, ok, want)
+		}
+	}
+	// The shared prefix must agree measurement for measurement: the
+	// cached entries reproduced exactly what the fresh run measured.
+	for i := 1; i <= 3; i++ {
+		row := fmt.Sprintf("  %-3d", i)
+		a, b := findLine(first, row), findLine(second, row)
+		if a == "" || a != b {
+			t.Fatalf("replication %d differs between studies:\n%q\n%q", i, a, b)
+		}
+	}
+}
+
+// findLine returns the first line of s with the given prefix.
+func findLine(s, prefix string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return line
+		}
+	}
+	return ""
+}
+
 func TestStatusEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	postRun(t, ts, trialBody)

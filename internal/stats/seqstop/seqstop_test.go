@@ -1,0 +1,289 @@
+package seqstop
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vanetsim/internal/runner"
+	"vanetsim/internal/sim"
+	"vanetsim/internal/stats"
+)
+
+// sample is the synthetic replication used throughout: a pure function
+// of the replication index (the engine's determinism precondition),
+// with enough spread that the CI needs several replications to close.
+func sample(i int) []float64 {
+	rng := sim.NewRNG(uint64(i) + 1).Fork("seqstop-test")
+	return []float64{rng.Normal(100, 5), rng.Normal(10, 0.2)}
+}
+
+// expectN is the reference stopping rule, computed directly from the
+// definition: the earliest prefix k in [minReps, maxReps] whose every
+// metric CI meets tol.
+func expectN(minReps, maxReps int, tol float64) (int, bool) {
+	for k := minReps; k <= maxReps; k++ {
+		cols := [][]float64{make([]float64, k), make([]float64, k)}
+		for i := 0; i < k; i++ {
+			v := sample(i)
+			cols[0][i], cols[1][i] = v[0], v[1]
+		}
+		met := true
+		for _, col := range cols {
+			ci, _ := stats.MeanCIObserved(col, 0.95)
+			if !ci.Met(tol) {
+				met = false
+			}
+		}
+		if met {
+			return k, true
+		}
+	}
+	return maxReps, false
+}
+
+func TestRunStopsAtEarliestQualifyingPrefix(t *testing.T) {
+	const tol = 0.02
+	wantN, wantMet := expectN(2, 64, tol)
+	if !wantMet {
+		t.Fatalf("test data never meets tolerance %v within 64 reps", tol)
+	}
+	if wantN <= 2 {
+		t.Fatalf("test data converges immediately (N=%d); pick wider spread", wantN)
+	}
+	res, err := Run(Config{
+		Metrics: []string{"a", "b"}, Tolerance: tol, MinReps: 2,
+	}, func(i int) ([]float64, error) { return sample(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || res.N != wantN {
+		t.Fatalf("N = %d (met %v), want %d", res.N, res.Met, wantN)
+	}
+	if len(res.Samples) != wantN {
+		t.Fatalf("verdict carries %d samples, want %d", len(res.Samples), wantN)
+	}
+	if res.Executed < res.N {
+		t.Fatalf("executed %d < used %d", res.Executed, res.N)
+	}
+	for _, m := range res.Metrics {
+		if !m.CI.Met(tol) {
+			t.Fatalf("metric %s reported unmet CI in a met verdict: %+v", m.Name, m.CI)
+		}
+		if m.CI.N != wantN {
+			t.Fatalf("metric %s CI over %d samples, want %d", m.Name, m.CI.N, wantN)
+		}
+	}
+}
+
+// The determinism contract: the verdict (N, Met, Metrics, Samples) is
+// identical at any batch size and any worker-pool width; only Executed
+// (overshoot) may differ.
+func TestRunBatchSizeAndPoolInvariance(t *testing.T) {
+	const tol = 0.02
+	var ref *Result
+	for _, tc := range []struct {
+		batch, workers int
+	}{
+		{1, 1}, {4, 1}, {1, 8}, {4, 8}, {3, 2}, {7, 8}, {64, 8},
+	} {
+		res, err := Run(Config{
+			Metrics: []string{"a", "b"}, Tolerance: tol, MinReps: 2,
+			BatchSize: tc.batch, Pool: runner.Pool{Workers: tc.workers},
+		}, func(i int) ([]float64, error) { return sample(i), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.N != ref.N || res.Met != ref.Met {
+			t.Fatalf("batch=%d workers=%d: N=%d met=%v, want N=%d met=%v",
+				tc.batch, tc.workers, res.N, res.Met, ref.N, ref.Met)
+		}
+		if !reflect.DeepEqual(res.Metrics, ref.Metrics) {
+			t.Fatalf("batch=%d workers=%d: metrics diverge:\n%+v\nvs\n%+v",
+				tc.batch, tc.workers, res.Metrics, ref.Metrics)
+		}
+		if !reflect.DeepEqual(res.Samples, ref.Samples) {
+			t.Fatalf("batch=%d workers=%d: samples diverge", tc.batch, tc.workers)
+		}
+	}
+}
+
+func TestRunBudgetExhaustedReportsAchievedBound(t *testing.T) {
+	// An impossible tolerance: the budget must run out, Met must be
+	// false, and the achieved (finite) bound must still be reported.
+	res, err := Run(Config{
+		Metrics: []string{"a", "b"}, Tolerance: 1e-9, MinReps: 2, MaxReps: 6,
+	}, func(i int) ([]float64, error) { return sample(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met {
+		t.Fatal("±1e-9 tolerance reported met")
+	}
+	if res.N != 6 || res.Executed != 6 || len(res.Samples) != 6 {
+		t.Fatalf("budget verdict N=%d executed=%d samples=%d, want all 6", res.N, res.Executed, len(res.Samples))
+	}
+	for _, m := range res.Metrics {
+		p := m.CI.RelPrecision()
+		if math.IsNaN(p) || math.IsInf(p, 0) || p <= 1e-9 {
+			t.Fatalf("metric %s achieved bound = %v, want finite and above tolerance", m.Name, p)
+		}
+	}
+}
+
+func TestRunAllMissingMetricNeverMet(t *testing.T) {
+	// A metric that is NaN in every replication must hold the study at
+	// "not met" until the budget runs out — never converge at NaN.
+	res, err := Run(Config{
+		Metrics: []string{"real", "ghost"}, Tolerance: 0.5, MinReps: 2, MaxReps: 5,
+	}, func(i int) ([]float64, error) {
+		return []float64{100, math.NaN()}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met {
+		t.Fatal("all-missing metric reported met")
+	}
+	ghost := res.Metrics[1]
+	if ghost.Missing != 5 || ghost.CI.N != 0 || !math.IsNaN(ghost.CI.Mean) {
+		t.Fatalf("ghost metric = %+v, want 5 missing and NaN mean", ghost)
+	}
+	// The real metric (zero variance) individually met it.
+	if !res.Metrics[0].CI.Met(0.5) {
+		t.Fatalf("real metric = %+v, want met", res.Metrics[0])
+	}
+}
+
+func TestRunPartialMissingUsesObservedSamples(t *testing.T) {
+	// One missing sample among real ones: the CI covers the observed
+	// remainder and the verdict can still be met.
+	res, err := Run(Config{
+		Metrics: []string{"m"}, Tolerance: 0.5, MinReps: 4, MaxReps: 8, BatchSize: 4,
+	}, func(i int) ([]float64, error) {
+		if i == 1 {
+			return []float64{math.NaN()}, nil
+		}
+		return []float64{100 + float64(i%2)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || res.N != 4 {
+		t.Fatalf("N = %d (met %v), want met at 4", res.N, res.Met)
+	}
+	m := res.Metrics[0]
+	if m.Missing != 1 || m.CI.N != 3 {
+		t.Fatalf("metric = %+v, want 1 missing of 4", m)
+	}
+}
+
+// Regression: a batch boundary landing BELOW MinReps must not lower the
+// prefix-scan cursor — with zero-variance data and BatchSize 2, a study
+// with MinReps 4 once stopped at k=3 (the cursor slipped to executed+1
+// after the first batch).
+func TestRunBatchBelowMinRepsRespectsMinimum(t *testing.T) {
+	for _, batch := range []int{1, 2, 3, 4, 5} {
+		res, err := Run(Config{
+			Metrics: []string{"m"}, Tolerance: 0.5, MinReps: 4, MaxReps: 8, BatchSize: batch,
+		}, func(i int) ([]float64, error) { return []float64{100}, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.N != 4 || !res.Met {
+			t.Fatalf("batch=%d: N=%d met=%v, want stop exactly at MinReps 4", batch, res.N, res.Met)
+		}
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	if _, err := Run(Config{Metrics: []string{"m"}, Tolerance: 0.1, MinReps: 2},
+		func(i int) ([]float64, error) { return nil, boom }); err == nil {
+		t.Fatal("replication error not propagated")
+	}
+	if _, err := Run(Config{Metrics: []string{"m"}, Tolerance: 0.1, MinReps: 2},
+		func(i int) ([]float64, error) { return []float64{1, 2}, nil }); err == nil ||
+		!strings.Contains(err.Error(), "2 samples for 1 metrics") {
+		t.Fatalf("sample-arity mismatch not caught: %v", err)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	rep := func(i int) ([]float64, error) { return []float64{1}, nil }
+	cases := []Config{
+		{Metrics: nil, Tolerance: 0.1},
+		{Metrics: []string{"m"}, Tolerance: 0},
+		{Metrics: []string{"m"}, Tolerance: -0.1},
+		{Metrics: []string{"m"}, Tolerance: math.NaN()},
+		{Metrics: []string{"m"}, Tolerance: math.Inf(1)},
+		{Metrics: []string{"m"}, Tolerance: 0.1, MinReps: 1},
+		{Metrics: []string{"m"}, Tolerance: 0.1, MinReps: 8, MaxReps: 4},
+		{Metrics: []string{"m"}, Tolerance: 0.1, Level: 1.5},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(cfg, rep); err == nil {
+			t.Fatalf("case %d (%+v): invalid config accepted", i, cfg)
+		}
+	}
+}
+
+func TestRunProgressDeterministicAtFixedBatch(t *testing.T) {
+	lines := func() []string {
+		var out []string
+		_, err := Run(Config{
+			Metrics: []string{"a", "b"}, Tolerance: 1e-9, MinReps: 2, MaxReps: 8,
+			BatchSize: 2, Progress: func(s string) { out = append(out, s) },
+		}, func(i int) ([]float64, error) { return sample(i), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := lines(), lines()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("progress lines not deterministic:\n%v\nvs\n%v", a, b)
+	}
+	if len(a) != 3 { // batches at 2, 4, 6; the final batch (8) emits no line
+		t.Fatalf("got %d progress lines, want 3: %v", len(a), a)
+	}
+	for _, l := range a {
+		if !strings.Contains(l, "not met yet") {
+			t.Fatalf("unexpected progress line %q", l)
+		}
+	}
+}
+
+func TestSeedsDeterministicPrefixNonZeroUnique(t *testing.T) {
+	a := Seeds(42, 16)
+	b := Seeds(42, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Seeds not deterministic")
+	}
+	// Prefix property: the stream never re-deals earlier seeds when asked
+	// for more.
+	long := Seeds(42, 64)
+	if !reflect.DeepEqual(a, long[:16]) {
+		t.Fatal("Seeds(42, 16) is not a prefix of Seeds(42, 64)")
+	}
+	seen := make(map[uint64]bool)
+	for _, s := range long {
+		if s == 0 {
+			t.Fatal("seed stream dealt 0")
+		}
+		if seen[s] {
+			t.Fatalf("seed stream dealt duplicate %d", s)
+		}
+		seen[s] = true
+	}
+	// Different bases give different streams.
+	if reflect.DeepEqual(a, Seeds(43, 16)) {
+		t.Fatal("different base seeds produced the same stream")
+	}
+}

@@ -88,12 +88,25 @@ func (c CI) Lo() float64 { return c.Mean - c.HalfWidth }
 func (c CI) Hi() float64 { return c.Mean + c.HalfWidth }
 
 // RelPrecision returns half-width / |mean| — the paper's "relative
-// precision" (reported as a percentage). It returns +Inf for a zero mean.
+// precision" (reported as a percentage). It returns +Inf for a zero mean
+// and NaN for a NaN mean (an interval with no observed samples).
 func (c CI) RelPrecision() float64 {
 	if c.Mean == 0 {
 		return math.Inf(1)
 	}
 	return math.Abs(c.HalfWidth / c.Mean)
+}
+
+// Met reports whether the interval satisfies a relative-precision
+// tolerance: RelPrecision() must be finite and at most tol. Non-finite
+// precision — the +Inf of a zero mean or an n<2 half-width, or the NaN
+// of a mean over no observed samples — never satisfies a tolerance;
+// NaN in particular compares as neither above nor below tol, so a
+// stopping rule using a plain `<=` would treat an all-missing metric as
+// converged. Sequential-stopping rules must use Met.
+func (c CI) Met(tol float64) bool {
+	p := c.RelPrecision()
+	return !math.IsNaN(p) && !math.IsInf(p, 0) && p <= tol
 }
 
 // MeanCI returns the level (e.g. 0.95) confidence interval for the mean of
@@ -109,6 +122,30 @@ func MeanCI(xs []float64, level float64) CI {
 	t := TQuantile(1-(1-level)/2, s.N-1)
 	ci.HalfWidth = t * s.Std / math.Sqrt(float64(s.N))
 	return ci
+}
+
+// MeanCIObserved is MeanCI restricted to the observed (non-NaN) values
+// of xs, returning the interval plus the number of missing samples. A
+// simulation metric can be legitimately unobservable in one replication
+// (a trailing vehicle that never receives a packet has no
+// initial-packet delay); plain MeanCI would propagate that NaN and
+// poison the whole interval. With no observed values at all the result
+// keeps the explicit missing marker: Mean NaN, HalfWidth +Inf, N 0.
+func MeanCIObserved(xs []float64, level float64) (CI, int) {
+	observed := make([]float64, 0, len(xs))
+	missing := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			missing++
+			continue
+		}
+		observed = append(observed, x)
+	}
+	ci := MeanCI(observed, level)
+	if len(observed) == 0 {
+		ci.Mean = math.NaN()
+	}
+	return ci, missing
 }
 
 // BatchMeans reduces a correlated series to nbatches approximately

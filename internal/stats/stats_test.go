@@ -315,6 +315,65 @@ func TestPercentileMonotoneAndSortedAgreement(t *testing.T) {
 	}
 }
 
+// Met is the sequential-stopping rule's comparison; its whole point is
+// the non-finite edge cases RelPrecision can produce. A zero mean
+// (+Inf), a NaN mean (NaN — which a plain `<= tol` would pass straight
+// through, since NaN comparisons are always false... and so is
+// `> tol`), and the n<2 +Inf half-width must all read "not yet met".
+func TestCIMetNonFinitePrecision(t *testing.T) {
+	tol := 0.05
+	if (CI{Mean: 0, HalfWidth: 1, N: 10}).Met(tol) {
+		t.Fatal("zero mean (+Inf precision) must not meet tolerance")
+	}
+	if (CI{Mean: math.NaN(), HalfWidth: math.Inf(1), N: 0}).Met(tol) {
+		t.Fatal("NaN mean (NaN precision) must not meet tolerance")
+	}
+	if ci := MeanCI([]float64{5}, 0.95); ci.Met(tol) {
+		t.Fatal("n<2 (+Inf half-width) must not meet tolerance")
+	}
+	// Sanity in both directions on finite precision.
+	if !(CI{Mean: 10, HalfWidth: 0.4, N: 8}).Met(tol) {
+		t.Fatal("4% relative precision must meet a 5% tolerance")
+	}
+	if (CI{Mean: 10, HalfWidth: 0.6, N: 8}).Met(tol) {
+		t.Fatal("6% relative precision must not meet a 5% tolerance")
+	}
+	// Exactly at the bound counts as met (the contract is ≤).
+	if !(CI{Mean: 10, HalfWidth: 0.5, N: 8}).Met(tol) {
+		t.Fatal("precision exactly at tolerance must count as met")
+	}
+}
+
+// MeanCIObserved filters missing-sample markers instead of letting them
+// poison the interval: one NaN among real samples must yield the CI of
+// the real samples plus an explicit missing count.
+func TestMeanCIObservedFiltersMissing(t *testing.T) {
+	xs := []float64{1, math.NaN(), 3}
+	ci, missing := MeanCIObserved(xs, 0.95)
+	if missing != 1 {
+		t.Fatalf("missing = %d, want 1", missing)
+	}
+	want := MeanCI([]float64{1, 3}, 0.95)
+	if ci != want {
+		t.Fatalf("observed CI = %+v, want %+v", ci, want)
+	}
+	// No missing samples: identical to plain MeanCI.
+	ci, missing = MeanCIObserved([]float64{1, 2, 3}, 0.95)
+	if missing != 0 || ci != MeanCI([]float64{1, 2, 3}, 0.95) {
+		t.Fatalf("all-observed CI = %+v (missing %d)", ci, missing)
+	}
+	// All missing: the explicit marker survives — NaN mean, +Inf width,
+	// zero observed count — so downstream Met() reads "not converged",
+	// never "converged at NaN".
+	ci, missing = MeanCIObserved([]float64{math.NaN(), math.NaN()}, 0.95)
+	if missing != 2 || ci.N != 0 || !math.IsNaN(ci.Mean) || !math.IsInf(ci.HalfWidth, 1) {
+		t.Fatalf("all-missing CI = %+v (missing %d)", ci, missing)
+	}
+	if ci.Met(0.5) {
+		t.Fatal("all-missing interval must not meet any tolerance")
+	}
+}
+
 // MeanCI on identical samples: the variance is exactly zero, so the
 // interval must collapse to a zero half-width, not go NaN or negative.
 func TestMeanCIZeroVariance(t *testing.T) {

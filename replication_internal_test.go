@@ -1,0 +1,40 @@
+package vanetsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// One NaN among real samples is the regression the "initial pkt" row
+// used to get wrong: stats.MeanCI propagates the NaN and the whole row
+// prints "NaN ± NaN", hiding the two real measurements. The CI must
+// instead cover the observed samples, with the miss counted explicitly.
+func TestAggregateFirstCIOverObservedSamples(t *testing.T) {
+	st := &ReplicationStudy{Runs: []Replication{
+		{Seed: 1, AvgDelayS: 0.5, SteadyS: 0.4, FirstS: 1.0, AvgTputMbps: 1.0},
+		{Seed: 2, AvgDelayS: 0.6, SteadyS: 0.5, FirstS: math.NaN(), AvgTputMbps: 1.1},
+		{Seed: 3, AvgDelayS: 0.7, SteadyS: 0.6, FirstS: 3.0, AvgTputMbps: 1.2},
+	}}
+	st.aggregate()
+	if st.FirstMissing != 1 {
+		t.Fatalf("FirstMissing = %d, want 1", st.FirstMissing)
+	}
+	if math.IsNaN(st.FirstCI.Mean) || st.FirstCI.Mean != 2.0 || st.FirstCI.N != 2 {
+		t.Fatalf("FirstCI = %+v, want mean 2.0 over the 2 observed samples", st.FirstCI)
+	}
+	if math.IsNaN(st.FirstCI.HalfWidth) || math.IsInf(st.FirstCI.HalfWidth, 1) {
+		t.Fatalf("FirstCI half-width = %v, want finite", st.FirstCI.HalfWidth)
+	}
+	// The other rows are unaffected by the missing first-packet sample.
+	if st.DelayCI.N != 3 || st.TputCI.N != 3 {
+		t.Fatalf("full-sample CIs shrank: delay N=%d tput N=%d", st.DelayCI.N, st.TputCI.N)
+	}
+	out := st.String()
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("report prints NaN despite observed samples:\n%s", out)
+	}
+	if !strings.Contains(out, "missing in 1/3 replications") {
+		t.Fatalf("report does not state the missing count:\n%s", out)
+	}
+}

@@ -91,6 +91,30 @@ func TestReplicationStudyMissingFirstIsNaN(t *testing.T) {
 	if !math.IsNaN(st.FirstCI.Mean) {
 		t.Fatalf("FirstCI.Mean = %v, want NaN", st.FirstCI.Mean)
 	}
+	// The all-missing case is also counted explicitly, and the report
+	// says so instead of printing a bare NaN row.
+	if st.FirstMissing != 2 {
+		t.Fatalf("FirstMissing = %d, want 2", st.FirstMissing)
+	}
+	if out := st.String(); !strings.Contains(out, "missing in 2/2 replications") {
+		t.Fatalf("report does not state the missing count:\n%s", out)
+	}
+}
+
+// TestReplicationStudyRejectsDuplicateSeeds: a duplicate seed re-runs
+// the identical simulation and double-counts it, which deflates the
+// sample variance and artificially narrows every CI — it must be
+// rejected, not silently accepted.
+func TestReplicationStudyRejectsDuplicateSeeds(t *testing.T) {
+	cfg := vanetsim.Trial1()
+	cfg.Duration = vanetsim.Seconds(10)
+	_, err := vanetsim.RunReplications(cfg, []uint64{1, 2, 1})
+	if err == nil {
+		t.Fatal("duplicate seeds accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate replication seed 1") {
+		t.Fatalf("unhelpful duplicate-seed error: %v", err)
+	}
 }
 
 // TestReplicationsPoolInvariant: every pool size yields the identical
